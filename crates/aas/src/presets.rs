@@ -1,0 +1,309 @@
+//! Calibrated per-service configurations.
+//!
+//! Each preset encodes the *paper-scale* operating parameters of one service
+//! (customer arrival rates, pre-existing long-term stock, conversion rates,
+//! daily action volumes, targeting bias, customer geography) and scales the
+//! population-size parameters linearly by `scale` (1.0 = paper scale; the
+//! default scenario runs at 0.01 per DESIGN.md's scale substitution).
+//!
+//! Sources for the numbers:
+//! * customer totals and long-term splits — Table 6;
+//! * conversion rates (Boostgram 12%, Insta* 21%, Hublaagram 37%) and
+//!   growth/shrinkage — §5.1 "User Stability";
+//! * action mixes driving the volume ratios — Table 11;
+//! * customer geography — Figure 2 and Table 7;
+//! * Hublaagram paid-tier composition — Table 9;
+//! * Hublaagram like-block reaction lag (~3 weeks) — §6.3.
+
+use crate::adapt::AdaptationConfig;
+use crate::catalog::{hublaagram_catalog, reciprocity_pricing};
+use crate::collusion::{CollusionConfig, PayerProfile};
+use crate::customer::LifecycleParams;
+use crate::reciprocity::{DailyVolumes, ReciprocityConfig};
+use crate::targeting::TargetingBias;
+use footsteps_sim::prelude::{Country, CountryMix, ServiceId};
+
+/// Scale a paper-scale count, keeping at least `min`.
+fn scaled(paper: f64, scale: f64, min: f64) -> f64 {
+    (paper * scale).max(min)
+}
+
+/// Customer geography of the Insta* franchises: Russia-led with a very long
+/// tail ("most of their users in the 'other' category", §5.1).
+fn instastar_mix() -> CountryMix {
+    CountryMix::new(vec![
+        (Country::Ru, 0.24),
+        (Country::Us, 0.07),
+        (Country::Tr, 0.06),
+        (Country::Br, 0.05),
+        (Country::In, 0.04),
+        (Country::De, 0.03),
+        (Country::It, 0.03),
+        (Country::Id, 0.02),
+        (Country::Other, 0.46),
+    ])
+}
+
+/// Boostgram's US-led customer base.
+fn boostgram_mix() -> CountryMix {
+    CountryMix::new(vec![
+        (Country::Us, 0.38),
+        (Country::Gb, 0.08),
+        (Country::Br, 0.06),
+        (Country::In, 0.05),
+        (Country::Tr, 0.04),
+        (Country::De, 0.03),
+        (Country::It, 0.03),
+        (Country::Other, 0.33),
+    ])
+}
+
+/// Hublaagram's Indonesia-led customer base.
+fn hublaagram_mix() -> CountryMix {
+    CountryMix::new(vec![
+        (Country::Id, 0.42),
+        (Country::In, 0.09),
+        (Country::Us, 0.06),
+        (Country::Br, 0.05),
+        (Country::Tr, 0.04),
+        (Country::Ru, 0.02),
+        (Country::Other, 0.32),
+    ])
+}
+
+/// Instalex: RU-operated franchise, 7-day trial, $3.15/week.
+///
+/// The elevated `follow_for_like_strength` is the mechanistic stand-in for
+/// Instalex's unexplained like→follow reciprocation anomaly (Table 5):
+/// its pool curation over-selects users who follow back after a like.
+pub fn instalex_config(scale: f64) -> ReciprocityConfig {
+    ReciprocityConfig {
+        service: ServiceId::Instalex,
+        fingerprint_variant: 1,
+        pricing: reciprocity_pricing(ServiceId::Instalex),
+        volumes: DailyVolumes { like: 148.0, follow: 185.0, comment: 0.0, unfollow: 120.0 },
+        lifecycle: LifecycleParams {
+            arrival_rate: scaled(561.0, scale, 0.5),
+            p_long_term: 0.21,
+            long_term_mean_days: 102.0,
+            short_term_days: 7,
+            initial_long_term: scaled(10_338.0, scale, 4.0) as u32,
+        },
+        targeting: TargetingBias { tendency_strength: 2.5, follow_for_like_strength: 3.0 },
+        // Smaller than the sibling services: the follow-from-like trait it
+        // selects on exists in only ~12% of the population.
+        pool_size: 1_500,
+        adapt: AdaptationConfig::default(),
+        customer_mix: instastar_mix(),
+        honeypot_daily_actions: 110,
+        service_login_prob: 0.03,
+        follows_return_home: true,
+    }
+}
+
+/// Instazood: the sibling franchise; advertises a 3-day trial but delivers 7
+/// (§4.2), $0.34/day.
+pub fn instazood_config(scale: f64) -> ReciprocityConfig {
+    ReciprocityConfig {
+        service: ServiceId::Instazood,
+        fingerprint_variant: 2,
+        pricing: reciprocity_pricing(ServiceId::Instazood),
+        volumes: DailyVolumes { like: 148.0, follow: 185.0, comment: 54.0, unfollow: 120.0 },
+        lifecycle: LifecycleParams {
+            arrival_rate: scaled(561.0, scale, 0.5),
+            p_long_term: 0.21,
+            long_term_mean_days: 102.0,
+            short_term_days: 7,
+            initial_long_term: scaled(10_338.0, scale, 4.0) as u32,
+        },
+        targeting: TargetingBias { tendency_strength: 2.5, follow_for_like_strength: 0.0 },
+        pool_size: 3_000,
+        adapt: AdaptationConfig::default(),
+        customer_mix: instastar_mix(),
+        honeypot_daily_actions: 110,
+        service_login_prob: 0.03,
+        follows_return_home: true,
+    }
+}
+
+/// Boostgram: US-operated, 3-day trial, $99/month — the premium offering.
+pub fn boostgram_config(scale: f64) -> ReciprocityConfig {
+    ReciprocityConfig {
+        service: ServiceId::Boostgram,
+        fingerprint_variant: 3,
+        pricing: reciprocity_pricing(ServiceId::Boostgram),
+        volumes: DailyVolumes { like: 320.0, follow: 96.0, comment: 0.0, unfollow: 84.0 },
+        lifecycle: LifecycleParams {
+            arrival_rate: scaled(100.8, scale, 0.3),
+            p_long_term: 0.12,
+            long_term_mean_days: 217.0,
+            short_term_days: 3,
+            initial_long_term: scaled(2_886.0, scale, 3.0) as u32,
+        },
+        targeting: TargetingBias { tendency_strength: 3.0, follow_for_like_strength: 0.0 },
+        pool_size: 3_000,
+        adapt: AdaptationConfig::default(),
+        customer_mix: boostgram_mix(),
+        honeypot_daily_actions: 110,
+        service_login_prob: 0.03,
+        follows_return_home: false,
+    }
+}
+
+/// Hublaagram: the million-customer collusion network.
+pub fn hublaagram_config(scale: f64) -> CollusionConfig {
+    CollusionConfig {
+        service: ServiceId::Hublaagram,
+        fingerprint_variant: 4,
+        catalog: hublaagram_catalog(),
+        lifecycle: LifecycleParams {
+            arrival_rate: scaled(8_941.0, scale, 2.0),
+            p_long_term: 0.37,
+            long_term_mean_days: 60.0,
+            // Short-term Hublaagram users request service for ≤4 days.
+            short_term_days: 3,
+            initial_long_term: scaled(203_663.0, scale, 10.0) as u32,
+        },
+        customer_mix: hublaagram_mix(),
+        // Blocking of likes took ~3 weeks to answer ("perhaps because it had
+        // to implement blocked like detection", §6.3).
+        adapt_likes: AdaptationConfig { detection_lag_days: 21, ..AdaptationConfig::default() },
+        adapt_follows: AdaptationConfig::default(),
+        // Free usage is occasional: the paper's ad-impression estimate
+        // (5.77M/month over ~1M users at ~1 ad per free request) implies
+        // roughly one free request per user every few days.
+        free_like_requests_per_day: 0.30,
+        free_follow_requests_per_day: 0.62,
+        free_comment_requests_per_day: 0.18,
+        payer_profile: PayerProfile {
+            // Of ~1.0M active accounts: 24,420 no-outbound, ~31.9k monthly
+            // tiers, 182 one-time (Table 9). `p_monthly` is conditioned on
+            // the long-term draw (37%), so 0.086 × 0.37 ≈ 3.2% of actives.
+            p_no_outbound: 0.0242,
+            p_monthly: 0.086,
+            monthly_tier_weights: [11_249.0, 18_009.0, 2_488.0, 155.0],
+            p_one_time: 0.0002,
+        },
+        photos_per_day: 0.45,
+        ip_pool_size: 4_000,
+        honeypot_free_requests_per_day: 2.0,
+        paid_delivery_rate_per_hour: 420,
+        package_purchase_prob: 0.0,
+        followersgratis_packages: Vec::new(),
+    }
+}
+
+/// Followersgratis: the small collusion network already neutered by the
+/// platform's IP-volume defense (it serves its traffic from a handful of
+/// Indonesian addresses, §5).
+pub fn followersgratis_config(scale: f64) -> CollusionConfig {
+    CollusionConfig {
+        service: ServiceId::Followersgratis,
+        fingerprint_variant: 5,
+        catalog: hublaagram_catalog_for_followersgratis(),
+        lifecycle: LifecycleParams {
+            arrival_rate: scaled(300.0, scale, 0.5),
+            p_long_term: 0.2,
+            long_term_mean_days: 30.0,
+            short_term_days: 3,
+            initial_long_term: scaled(2_000.0, scale, 2.0) as u32,
+        },
+        customer_mix: hublaagram_mix(),
+        adapt_likes: AdaptationConfig::default(),
+        adapt_follows: AdaptationConfig::default(),
+        free_like_requests_per_day: 0.0,
+        free_follow_requests_per_day: 1.0,
+        free_comment_requests_per_day: 0.0,
+        payer_profile: PayerProfile {
+            p_no_outbound: 0.0,
+            p_monthly: 0.0,
+            monthly_tier_weights: [0.0; 4],
+            p_one_time: 0.0,
+        },
+        photos_per_day: 0.3,
+        // The defining handicap: a tiny static IP pool.
+        ip_pool_size: 3,
+        honeypot_free_requests_per_day: 2.0,
+        paid_delivery_rate_per_hour: 200,
+        package_purchase_prob: 0.01,
+        followersgratis_packages: crate::catalog::followersgratis_catalog(),
+    }
+}
+
+/// Followersgratis reuses the collusion engine; its "catalog" only needs the
+/// free-tier grant sizes (500-follow-ish requests scaled down to per-request
+/// grants) — the paid side is package-based (Table 4).
+fn hublaagram_catalog_for_followersgratis() -> crate::catalog::HublaagramCatalog {
+    crate::catalog::HublaagramCatalog {
+        no_outbound_cents: 0,
+        one_time: Vec::new(),
+        monthly: Vec::new(),
+        free_likes_per_request: 0,
+        free_follows_per_request: 40,
+        free_cooldown_secs: 3_600,
+        free_likes_per_hour_cap: 160,
+        ads_per_free_request: (0, 0),
+        cpm_cents: (0, 0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_is_linear_on_population_params() {
+        let a = hublaagram_config(0.01);
+        let b = hublaagram_config(0.02);
+        assert!((b.lifecycle.arrival_rate / a.lifecycle.arrival_rate - 2.0).abs() < 0.01);
+        let diff = (i64::from(b.lifecycle.initial_long_term) - 2 * i64::from(a.lifecycle.initial_long_term)).abs();
+        assert!(diff <= 1, "rounding tolerance, diff {diff}");
+    }
+
+    #[test]
+    fn conversion_rates_match_paper() {
+        assert!((instalex_config(1.0).lifecycle.p_long_term - 0.21).abs() < 1e-9);
+        assert!((boostgram_config(1.0).lifecycle.p_long_term - 0.12).abs() < 1e-9);
+        assert!((hublaagram_config(1.0).lifecycle.p_long_term - 0.37).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table11_volume_ratios() {
+        // Insta*: follows > likes (ratio ≈ 1.25); Boostgram: likes ≫ follows.
+        let ix = instalex_config(1.0).volumes;
+        assert!(ix.follow > ix.like);
+        let bg = boostgram_config(1.0).volumes;
+        assert!(bg.like / bg.follow > 3.0);
+        // Boostgram performs no comments (Table 11 row: 0%).
+        assert_eq!(bg.comment, 0.0);
+    }
+
+    #[test]
+    fn instalex_carries_the_follow_for_like_quirk() {
+        assert!(instalex_config(1.0).targeting.follow_for_like_strength > 0.0);
+        assert_eq!(instazood_config(1.0).targeting.follow_for_like_strength, 0.0);
+        assert_eq!(boostgram_config(1.0).targeting.follow_for_like_strength, 0.0);
+    }
+
+    #[test]
+    fn hublaagram_like_controller_has_three_week_lag() {
+        let h = hublaagram_config(1.0);
+        assert_eq!(h.adapt_likes.detection_lag_days, 21);
+        assert_eq!(h.adapt_follows.detection_lag_days, 0);
+    }
+
+    #[test]
+    fn followersgratis_has_a_tiny_ip_pool() {
+        let f = followersgratis_config(1.0);
+        assert!(f.ip_pool_size <= 5);
+        let h = hublaagram_config(1.0);
+        assert!(h.ip_pool_size >= 1_000);
+    }
+
+    #[test]
+    fn minimum_floors_keep_tiny_scales_alive() {
+        let b = boostgram_config(0.0001);
+        assert!(b.lifecycle.arrival_rate >= 0.3);
+        assert!(b.lifecycle.initial_long_term >= 3);
+    }
+}

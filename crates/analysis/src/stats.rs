@@ -1,0 +1,167 @@
+//! Small statistics toolkit shared by the analyses.
+//!
+//! Nearest-rank percentiles, medians, means, and the empirical CDF used by
+//! Figures 3/4. Everything is exact and deterministic (no interpolation
+//! surprises between runs).
+
+use serde::{Deserialize, Serialize};
+
+/// Mean of a slice (0 for empty).
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Nearest-rank percentile of unsorted data, `p ∈ [0,1]`. `None` for empty.
+pub fn percentile(values: &[f64], p: f64) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    debug_assert!((0.0..=1.0).contains(&p));
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    let rank = ((sorted.len() as f64 * p).ceil() as usize).clamp(1, sorted.len());
+    Some(sorted[rank - 1])
+}
+
+/// Median (nearest-rank upper median) of unsorted data.
+pub fn median(values: &[f64]) -> Option<f64> {
+    percentile(values, 0.5)
+}
+
+/// Median of integer data, as f64.
+pub fn median_u32(values: &[u32]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable();
+    Some(f64::from(sorted[(sorted.len() - 1) / 2]))
+}
+
+/// An empirical cumulative distribution function over integer observations
+/// (degree counts in Figures 3/4).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ecdf {
+    /// Sorted observations.
+    sorted: Vec<u32>,
+}
+
+impl Ecdf {
+    /// Build from unsorted observations.
+    ///
+    /// # Panics
+    /// Panics on empty input — an ECDF of nothing is meaningless.
+    pub fn new(mut values: Vec<u32>) -> Self {
+        assert!(!values.is_empty(), "ECDF needs at least one observation");
+        values.sort_unstable();
+        Self { sorted: values }
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Always false (construction rejects empty input).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// `P(X <= x)`.
+    pub fn cdf(&self, x: u32) -> f64 {
+        let idx = self.sorted.partition_point(|&v| v <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// The `q`-quantile (nearest rank), `q ∈ [0,1]`.
+    pub fn quantile(&self, q: f64) -> u32 {
+        debug_assert!((0.0..=1.0).contains(&q));
+        let rank = ((self.sorted.len() as f64 * q).ceil() as usize).clamp(1, self.sorted.len());
+        self.sorted[rank - 1]
+    }
+
+    /// The median observation.
+    pub fn median(&self) -> u32 {
+        // Lower median, matching how the paper reports "the median account".
+        self.sorted[(self.sorted.len() - 1) / 2]
+    }
+
+    /// Evaluate the CDF at a grid of points (for plotting a figure series).
+    pub fn series(&self, points: &[u32]) -> Vec<(u32, f64)> {
+        points.iter().map(|&x| (x, self.cdf(x))).collect()
+    }
+
+    /// A log-spaced grid covering the observation range, for CDF plots over
+    /// heavy-tailed data.
+    pub fn log_grid(&self, points_per_decade: u32) -> Vec<u32> {
+        let lo = (*self.sorted.first().expect("non-empty")).max(1);
+        let hi = *self.sorted.last().expect("non-empty");
+        let mut grid = Vec::new();
+        let mut x = lo as f64;
+        let step = 10f64.powf(1.0 / f64::from(points_per_decade));
+        while x <= hi as f64 {
+            let v = x.round() as u32;
+            if grid.last() != Some(&v) {
+                grid.push(v);
+            }
+            x *= step;
+        }
+        if grid.last() != Some(&hi) {
+            grid.push(hi);
+        }
+        grid
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_percentile_basics() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        let v: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&v, 0.99), Some(99.0));
+        assert_eq!(percentile(&v, 0.5), Some(50.0));
+        assert_eq!(median(&[]), None);
+        assert_eq!(median_u32(&[5, 1, 9]), Some(5.0));
+        assert_eq!(median_u32(&[4, 2]), Some(2.0), "lower median");
+    }
+
+    #[test]
+    fn ecdf_cdf_and_quantiles() {
+        let e = Ecdf::new(vec![10, 20, 30, 40, 50]);
+        assert_eq!(e.len(), 5);
+        assert_eq!(e.cdf(9), 0.0);
+        assert_eq!(e.cdf(10), 0.2);
+        assert_eq!(e.cdf(35), 0.6);
+        assert_eq!(e.cdf(1_000), 1.0);
+        assert_eq!(e.quantile(0.5), 30);
+        assert_eq!(e.median(), 30);
+        let even = Ecdf::new(vec![1, 2, 3, 4]);
+        assert_eq!(even.median(), 2, "lower median for even n");
+    }
+
+    #[test]
+    fn ecdf_series_is_monotone() {
+        let e = Ecdf::new(vec![3, 1, 4, 1, 5, 9, 2, 6]);
+        let grid = e.log_grid(10);
+        let series = e.series(&grid);
+        for w in series.windows(2) {
+            assert!(w[0].1 <= w[1].1, "CDF must be non-decreasing");
+            assert!(w[0].0 < w[1].0, "grid must be strictly increasing");
+        }
+        assert_eq!(series.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one observation")]
+    fn ecdf_rejects_empty() {
+        Ecdf::new(vec![]);
+    }
+}

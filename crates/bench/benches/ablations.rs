@@ -1,0 +1,163 @@
+//! Ablation benches for the design decisions called out in DESIGN.md §4:
+//!
+//! * **two-speed engine** — event path vs aggregate path for the same action
+//!   volume (why bulk traffic is aggregated);
+//! * **targeting bias** — pool curation cost with and without selection
+//!   (what the reciprocity services pay for their §5.3 bias);
+//! * **adaptation controller** — a service day with and without the
+//!   per-customer block-detection machinery.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use footsteps_aas::{presets, PaymentLedger, ReciprocityService, TargetPool, TargetingBias};
+use footsteps_sim::account::{ProfileKind, ReciprocityProfile};
+use footsteps_sim::net::{AsnKind, AsnRegistry};
+use footsteps_sim::platform::{BatchRequest, EventRequest, Platform, PlatformConfig, PoolStats};
+use footsteps_sim::population::{synthesize, PopulationConfig, ResidentialIndex};
+use footsteps_sim::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn world() -> (Platform, ResidentialIndex, Population, AsnId) {
+    let mut reg = AsnRegistry::new();
+    for c in Country::ALL {
+        reg.register(&format!("res-{}", c.code()), c, AsnKind::Residential, 100_000);
+    }
+    let host = reg.register("host", Country::Us, AsnKind::Hosting, 10_000);
+    let residential = ResidentialIndex::build(&reg);
+    let mut platform = Platform::new(reg, PlatformConfig::default(), SmallRng::seed_from_u64(9));
+    let mut rng = SmallRng::seed_from_u64(10);
+    let pop = synthesize(
+        &mut platform.accounts,
+        &residential,
+        &PopulationConfig { size: 8_000, ..PopulationConfig::default() },
+        &mut rng,
+    );
+    (platform, residential, pop, host)
+}
+
+/// Two-speed engine: 200 actions as one aggregate batch vs 200 events.
+fn bench_event_vs_aggregate(c: &mut Criterion) {
+    let (mut platform, _res, pop, host) = world();
+    platform.config.ip_daily_action_cap = u32::MAX;
+    let actor = platform.accounts.create(
+        SimTime::EPOCH,
+        ProfileKind::Organic,
+        Country::Us,
+        AsnId(0),
+        100,
+        100,
+        ReciprocityProfile::SILENT,
+    );
+    platform.begin_day(Day(0));
+    let ip = platform.asns.ip_in(host, 0);
+    let fp = ClientFingerprint::SpoofedMobile { variant: 1 };
+    c.bench_function("ablation_aggregate_200_actions", |b| {
+        b.iter(|| {
+            std::hint::black_box(platform.submit_batch(BatchRequest {
+                actor,
+                action: ActionType::Like,
+                count: 200,
+                asn: host,
+                ip,
+                fingerprint: fp,
+                pool: PoolStats::INERT,
+                service: None,
+            }));
+        });
+    });
+    let mut rng = SmallRng::seed_from_u64(11);
+    c.bench_function("ablation_events_200_actions", |b| {
+        b.iter(|| {
+            for _ in 0..200 {
+                let target = pop.sample_uniform(rng.gen());
+                std::hint::black_box(platform.submit_event(EventRequest {
+                    actor,
+                    action: ActionType::Like,
+                    target,
+                    asn: host,
+                    ip,
+                    fingerprint: fp,
+                    service: None,
+                }));
+            }
+        });
+    });
+}
+
+/// Targeting: curating a biased pool vs a uniform one.
+fn bench_targeting_bias(c: &mut Criterion) {
+    let (platform, _res, pop, _host) = world();
+    c.bench_function("ablation_pool_uniform_1000", |b| {
+        b.iter(|| {
+            let mut rng = SmallRng::seed_from_u64(12);
+            std::hint::black_box(TargetPool::curate(
+                &platform.accounts,
+                &pop,
+                TargetingBias::UNIFORM,
+                1_000,
+                &mut rng,
+            ));
+        });
+    });
+    c.bench_function("ablation_pool_biased_1000", |b| {
+        b.iter(|| {
+            let mut rng = SmallRng::seed_from_u64(12);
+            std::hint::black_box(TargetPool::curate(
+                &platform.accounts,
+                &pop,
+                TargetingBias { tendency_strength: 3.0, follow_for_like_strength: 0.0 },
+                1_000,
+                &mut rng,
+            ));
+        });
+    });
+}
+
+/// A service day with the adaptation machinery exercised (blocking on) vs
+/// idle (no enforcement).
+fn bench_adaptation(c: &mut Criterion) {
+    struct BlockFollows;
+    impl EnforcementPolicy for BlockFollows {
+        fn evaluate(&self, ctx: &EnforcementContext) -> EnforcementDecision {
+            if ctx.action == ActionType::Follow {
+                EnforcementDecision::threshold(ctx.requested, ctx.prior_today, 30, Countermeasure::Block)
+            } else {
+                EnforcementDecision::allow_all(ctx.requested)
+            }
+        }
+    }
+    for (label, enforce) in [("ablation_service_day_unblocked", false), ("ablation_service_day_blocked", true)] {
+        c.bench_function(label, |b| {
+            b.iter(|| {
+                let (mut platform, residential, pop, host) = world();
+                let mut cfg = presets::boostgram_config(0.02);
+                cfg.pool_size = 400;
+                let mut svc = ReciprocityService::new(
+                    cfg,
+                    &platform.accounts,
+                    &pop,
+                    vec![host],
+                    SmallRng::seed_from_u64(13),
+                );
+                let mut ledger = PaymentLedger::new();
+                platform.begin_day(Day(0));
+                svc.seed_initial_customers(&mut platform, &residential, Day(0));
+                if enforce {
+                    platform.set_policy(Box::new(BlockFollows));
+                }
+                for d in 0..5u32 {
+                    platform.begin_day(Day(d));
+                    svc.run_day(&mut platform, &residential, &mut ledger, Day(d));
+                }
+                std::hint::black_box(svc.customers().len());
+            });
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_event_vs_aggregate, bench_targeting_bias, bench_adaptation
+}
+criterion_main!(benches);

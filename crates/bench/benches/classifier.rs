@@ -1,0 +1,33 @@
+//! Classifier throughput: scanning the platform log and attributing
+//! customers to services from signatures.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use footsteps_core::{Phase, Scenario, Study};
+use footsteps_detect::{classify, extract_all};
+use footsteps_sim::prelude::Day;
+
+fn bench_classifier(c: &mut Criterion) {
+    // Build one world once; the bench measures classification over its log.
+    let mut study = Study::new(Scenario::smoke(3));
+    study.run_characterization();
+    assert!(study.phase >= Phase::Characterized);
+    let end = study.timeline.narrow_start;
+    c.bench_function("detect_extract_signatures", |b| {
+        b.iter(|| {
+            std::hint::black_box(extract_all(&study.framework, &study.platform, Day(0), end));
+        });
+    });
+    let signatures = extract_all(&study.framework, &study.platform, Day(0), end);
+    c.bench_function("detect_classify_full_window", |b| {
+        b.iter(|| {
+            std::hint::black_box(classify(&study.platform, &signatures, Day(0), end));
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_classifier
+}
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Daily-engine throughput: one batch submission (the aggregate hot path)
+//! and a whole smoke-scale characterization run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use footsteps_core::{Scenario, Study};
+use footsteps_sim::account::{ProfileKind, ReciprocityProfile};
+use footsteps_sim::net::{AsnKind, AsnRegistry};
+use footsteps_sim::platform::{BatchRequest, Platform, PlatformConfig, PoolStats};
+use footsteps_sim::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// One platform batch submission (the hot path of the aggregate engine).
+fn bench_submit_batch(c: &mut Criterion) {
+    let mut reg = AsnRegistry::new();
+    reg.register("res", Country::Us, AsnKind::Residential, 10_000);
+    let host = reg.register("host", Country::Us, AsnKind::Hosting, 10_000);
+    let mut platform = Platform::new(reg, PlatformConfig::default(), SmallRng::seed_from_u64(1));
+    let actor = platform.accounts.create(
+        SimTime::EPOCH,
+        ProfileKind::Organic,
+        Country::Us,
+        AsnId(0),
+        100,
+        100,
+        ReciprocityProfile::SILENT,
+    );
+    platform.begin_day(Day(0));
+    let ip = platform.asns.ip_in(host, 0);
+    // Raise the edge cap so the bench isn't measuring refusals.
+    platform.config.ip_daily_action_cap = u32::MAX;
+    c.bench_function("platform_submit_batch_100_likes", |b| {
+        b.iter(|| {
+            std::hint::black_box(platform.submit_batch(BatchRequest {
+                actor,
+                action: ActionType::Like,
+                count: 100,
+                asn: host,
+                ip,
+                fingerprint: ClientFingerprint::SpoofedMobile { variant: 1 },
+                pool: PoolStats::INERT,
+                service: Some(ServiceId::Boostgram),
+            }));
+        });
+    });
+}
+
+/// A full smoke-scale characterization (all services + background traffic).
+fn bench_study_day(c: &mut Criterion) {
+    c.bench_function("study_characterization_smoke", |b| {
+        b.iter(|| {
+            let mut study = Study::new(Scenario::smoke(1));
+            study.run_characterization();
+            std::hint::black_box(
+                study
+                    .pipeline()
+                    .classification
+                    .customer_count(ServiceId::Hublaagram),
+            );
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_submit_batch, bench_study_day
+}
+criterion_main!(benches);

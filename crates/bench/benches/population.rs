@@ -1,0 +1,38 @@
+//! Population-synthesis throughput: how fast the substrate can stand up an
+//! organic user base (log-normal degrees + behaviour profiles).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use footsteps_sim::account::AccountStore;
+use footsteps_sim::net::{AsnKind, AsnRegistry};
+use footsteps_sim::population::{synthesize, PopulationConfig, ResidentialIndex};
+use footsteps_sim::prelude::Country;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn registry() -> (AsnRegistry, ResidentialIndex) {
+    let mut reg = AsnRegistry::new();
+    for c in Country::ALL {
+        reg.register(&format!("res-{}", c.code()), c, AsnKind::Residential, 100_000);
+    }
+    let idx = ResidentialIndex::build(&reg);
+    (reg, idx)
+}
+
+fn bench_population(c: &mut Criterion) {
+    let (_reg, idx) = registry();
+    let mut group = c.benchmark_group("population_synthesize");
+    for &size in &[1_000u32, 10_000, 50_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &size| {
+            b.iter(|| {
+                let mut accounts = AccountStore::new();
+                let cfg = PopulationConfig { size, ..PopulationConfig::default() };
+                let mut rng = SmallRng::seed_from_u64(1);
+                std::hint::black_box(synthesize(&mut accounts, &idx, &cfg, &mut rng));
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_population);
+criterion_main!(benches);

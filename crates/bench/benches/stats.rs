@@ -1,0 +1,29 @@
+//! Statistics-toolkit micro-benches: ECDF construction/queries and the
+//! binomial sampler that powers aggregate reciprocation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use footsteps_analysis::Ecdf;
+use footsteps_sim::behavior::sample_binomial;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_stats(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(6);
+    let data: Vec<u32> = (0..10_000).map(|_| rng.gen_range(0..5_000)).collect();
+    c.bench_function("ecdf_build_10k", |b| {
+        b.iter(|| std::hint::black_box(Ecdf::new(data.clone())));
+    });
+    let ecdf = Ecdf::new(data);
+    c.bench_function("ecdf_cdf_lookup", |b| {
+        b.iter(|| std::hint::black_box(ecdf.cdf(2_500)));
+    });
+    c.bench_function("binomial_small_n", |b| {
+        b.iter(|| std::hint::black_box(sample_binomial(&mut rng, 50, 0.12)));
+    });
+    c.bench_function("binomial_large_n", |b| {
+        b.iter(|| std::hint::black_box(sample_binomial(&mut rng, 100_000, 0.12)));
+    });
+}
+
+criterion_group!(benches, bench_stats);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Threshold-computation throughput: the per-ASN percentile sweep of §6.2.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use footsteps_core::{Scenario, Study};
+use footsteps_detect::{classify, compute_thresholds, extract_all, percentile_u32};
+use footsteps_sim::prelude::Day;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_thresholds(c: &mut Criterion) {
+    let mut study = Study::new(Scenario::smoke(4));
+    study.run_characterization();
+    let end = study.timeline.narrow_start;
+    let signatures = extract_all(&study.framework, &study.platform, Day(0), end);
+    let classification = classify(&study.platform, &signatures, Day(0), end);
+    c.bench_function("detect_compute_thresholds", |b| {
+        b.iter(|| {
+            std::hint::black_box(compute_thresholds(
+                &study.platform,
+                &classification,
+                &signatures,
+                Day(0),
+                end,
+            ));
+        });
+    });
+
+    let mut rng = SmallRng::seed_from_u64(5);
+    let base: Vec<u32> = (0..100_000).map(|_| rng.gen_range(0..500)).collect();
+    c.bench_function("percentile_100k_samples", |b| {
+        b.iter(|| {
+            let mut v = base.clone();
+            std::hint::black_box(percentile_u32(&mut v, 0.99));
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_thresholds
+}
+criterion_main!(benches);

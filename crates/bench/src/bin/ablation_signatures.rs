@@ -1,0 +1,83 @@
+//! Ablation: what each signature feature buys (§5).
+//!
+//! The paper attributes customers via "commonly tracked information about
+//! the client (e.g., IP address, ASN) and additional signals produced
+//! within Instagram". This harness classifies with degraded signatures and
+//! scores each variant against ground truth:
+//!
+//! * **ASN + fingerprint** (the pipeline's signature);
+//! * **ASN only** — collapses on mixed ASNs, where benign VPN/cloud users
+//!   share the network with the service;
+//! * **fingerprint only** — survives ASN migration but depends entirely on
+//!   the client-emulation quirks staying stable.
+
+use footsteps_core::Phase;
+use footsteps_detect::{classify, score_group_before, ServiceSignature};
+use footsteps_sim::prelude::*;
+use std::collections::HashSet;
+
+fn main() {
+    let study = footsteps_bench::study_to(Phase::Characterized);
+    let (start, end) = (study.timeline.char_start, study.timeline.narrow_start);
+    let cutoff = end.start();
+    let full = &study.pipeline().signatures;
+
+    // Degraded variants.
+    let all_fingerprints: HashSet<ClientFingerprint> = (0..=u16::MAX)
+        .take(64) // variants are small ints; 64 covers every stack
+        .map(|v| ClientFingerprint::SpoofedMobile { variant: v })
+        .chain([
+            ClientFingerprint::OfficialApp,
+            ClientFingerprint::WebClient,
+            ClientFingerprint::PublicApi,
+        ])
+        .collect();
+    let asn_only: Vec<ServiceSignature> = full
+        .iter()
+        .map(|s| ServiceSignature {
+            service: s.service,
+            asns: s.asns.clone(),
+            fingerprints: all_fingerprints.clone(),
+            collusion: s.collusion,
+        })
+        .collect();
+    let all_asns: HashSet<AsnId> = study.platform.asns.iter().map(|a| a.id).collect();
+    let fp_only: Vec<ServiceSignature> = full
+        .iter()
+        .map(|s| ServiceSignature {
+            service: s.service,
+            asns: all_asns.clone(),
+            fingerprints: s.fingerprints.clone(),
+            // Inbound matching keys on ASN alone; without the ASN feature it
+            // would flag all organic inbound, so disable it for this variant.
+            collusion: false,
+        })
+        .collect();
+
+    println!("Ablation — signature features (classification window, ground-truth scored)\n");
+    println!(
+        "{:<12} {:<18} {:>10} {:>10} {:>10}",
+        "Group", "signature", "classified", "precision", "recall"
+    );
+    for (label, sigs) in [
+        ("asn+fingerprint", full.clone()),
+        ("asn only", asn_only),
+        ("fingerprint only", fp_only),
+    ] {
+        let classification = classify(&study.platform, &sigs, start, end);
+        for group in ServiceGroup::BUSINESS {
+            let s = score_group_before(&study.platform, &classification, group, cutoff);
+            println!(
+                "{:<12} {:<18} {:>10} {:>9.1}% {:>9.1}%",
+                group.to_string(),
+                label,
+                s.tp + s.fp,
+                100.0 * s.precision(),
+                100.0 * s.recall()
+            );
+        }
+        println!();
+    }
+    println!("expected: ASN-only precision collapses for Insta* (mixed ASN carries benign");
+    println!("traffic); fingerprint-only misses collusion receive-only customers.");
+}

@@ -1,0 +1,7 @@
+//! Regenerate the §6.4 epilogue outcomes (migrations, proxy networks,
+//! "out of stock").
+use footsteps_core::Phase;
+fn main() {
+    let study = footsteps_bench::study_to(Phase::Finished);
+    println!("{}", footsteps_bench::render::epilogue(&study));
+}

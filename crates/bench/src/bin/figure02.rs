@@ -1,0 +1,6 @@
+//! Regenerate Figure 2 (customer country distributions).
+use footsteps_core::Phase;
+fn main() {
+    let study = footsteps_bench::study_to(Phase::Characterized);
+    println!("{}", footsteps_bench::render::figure02(&study));
+}

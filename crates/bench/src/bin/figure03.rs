@@ -1,0 +1,6 @@
+//! Regenerate Figure 3 (CDF of accounts followed by AAS targets).
+use footsteps_core::Phase;
+fn main() {
+    let study = footsteps_bench::study_to(Phase::Characterized);
+    println!("{}", footsteps_bench::render::figures0304(&study));
+}

@@ -1,0 +1,7 @@
+//! Regenerate Figure 4 (CDF of followers of AAS targets). The degree data
+//! is shared with Figure 3; this binary prints the same bundle.
+use footsteps_core::Phase;
+fn main() {
+    let study = footsteps_bench::study_to(Phase::Characterized);
+    println!("{}", footsteps_bench::render::figures0304(&study));
+}

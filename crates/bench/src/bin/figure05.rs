@@ -1,0 +1,6 @@
+//! Regenerate Figure 5 (Boostgram follows under the narrow intervention).
+use footsteps_core::Phase;
+fn main() {
+    let study = footsteps_bench::study_to(Phase::NarrowDone);
+    println!("{}", footsteps_bench::render::figure05(&study));
+}

@@ -1,0 +1,6 @@
+//! Regenerate Figure 6 (Hublaagram like eligibility; ~3-week reaction lag).
+use footsteps_core::Phase;
+fn main() {
+    let study = footsteps_bench::study_to(Phase::NarrowDone);
+    println!("{}", footsteps_bench::render::figure06(&study));
+}

@@ -1,0 +1,6 @@
+//! Regenerate Figure 7 (broad intervention: delay week then block week).
+use footsteps_core::Phase;
+fn main() {
+    let study = footsteps_bench::study_to(Phase::BroadDone);
+    println!("{}", footsteps_bench::render::figure07(&study));
+}

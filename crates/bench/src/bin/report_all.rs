@@ -1,0 +1,39 @@
+//! Run one full study and print every table and figure — the generator
+//! behind EXPERIMENTS.md.
+//!
+//! ```text
+//! cargo run --release -p footsteps-bench --bin report_all
+//! FOOTSTEPS_SMOKE=1 cargo run -p footsteps-bench --bin report_all   # quick
+//! ```
+use footsteps_bench::render;
+use footsteps_core::Phase;
+
+fn main() {
+    let study = footsteps_bench::study_to(Phase::Finished);
+    println!(
+        "footsteps reproduction report — seed {}, scale 1/{:.0}, population {}\n",
+        study.scenario.seed,
+        1.0 / study.scenario.scale,
+        study.scenario.population_size
+    );
+    println!("{}", render::franchise_note());
+    println!("{}", render::table01());
+    println!("{}", render::table02(Some(&study)));
+    println!("{}", render::table03());
+    println!("{}", render::table04());
+    println!("{}", render::table05(&study));
+    println!("{}", render::detection_quality(&study));
+    println!("{}", render::table06(&study));
+    println!("{}", render::table07(&study));
+    println!("{}", render::table08(&study));
+    println!("{}", render::table09(&study));
+    println!("{}", render::table10(&study));
+    println!("{}", render::table11(&study));
+    println!("{}", render::figure02(&study));
+    println!("{}", render::figures0304(&study));
+    println!("{}", render::figure05(&study));
+    println!("{}", render::figure06(&study));
+    println!("{}", render::figure07(&study));
+    println!("{}", render::section51(&study));
+    println!("{}", render::epilogue(&study));
+}

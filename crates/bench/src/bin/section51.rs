@@ -1,0 +1,6 @@
+//! Regenerate the §5.1 prose numbers (stability, conversion, overlap).
+use footsteps_core::Phase;
+fn main() {
+    let study = footsteps_bench::study_to(Phase::Characterized);
+    println!("{}", footsteps_bench::render::section51(&study));
+}

@@ -1,0 +1,5 @@
+//! Regenerate Table 1 (services offered).
+fn main() {
+    println!("{}", footsteps_bench::render::table01());
+    println!("{}", footsteps_bench::render::franchise_note());
+}

@@ -1,0 +1,7 @@
+//! Regenerate Table 2 (trials and pricing), with the honeypot-measured
+//! trial lengths from a characterization run (§4.2).
+use footsteps_core::Phase;
+fn main() {
+    let study = footsteps_bench::study_to(Phase::Characterized);
+    println!("{}", footsteps_bench::render::table02(Some(&study)));
+}

@@ -1,0 +1,4 @@
+//! Regenerate Table 3 (Hublaagram price list).
+fn main() {
+    println!("{}", footsteps_bench::render::table03());
+}

@@ -1,0 +1,4 @@
+//! Regenerate Table 4 (Followersgratis packages).
+fn main() {
+    println!("{}", footsteps_bench::render::table04());
+}

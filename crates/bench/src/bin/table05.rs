@@ -1,0 +1,7 @@
+//! Regenerate Table 5 (reciprocation probabilities) from the honeypot
+//! campaigns of a characterization run (§4.3).
+use footsteps_core::Phase;
+fn main() {
+    let study = footsteps_bench::study_to(Phase::Characterized);
+    println!("{}", footsteps_bench::render::table05(&study));
+}

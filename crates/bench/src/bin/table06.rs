@@ -1,0 +1,7 @@
+//! Regenerate Table 6 (customer bases and long/short-term split).
+use footsteps_core::Phase;
+fn main() {
+    let study = footsteps_bench::study_to(Phase::Characterized);
+    println!("{}", footsteps_bench::render::table06(&study));
+    println!("{}", footsteps_bench::render::detection_quality(&study));
+}

@@ -1,0 +1,6 @@
+//! Regenerate Table 7 (operating countries vs observed ASN locations).
+use footsteps_core::Phase;
+fn main() {
+    let study = footsteps_bench::study_to(Phase::Characterized);
+    println!("{}", footsteps_bench::render::table07(&study));
+}

@@ -1,0 +1,7 @@
+//! Regenerate Table 8 (reciprocity-service revenue estimates), scored
+//! against the services' ground-truth ledgers.
+use footsteps_core::Phase;
+fn main() {
+    let study = footsteps_bench::study_to(Phase::Characterized);
+    println!("{}", footsteps_bench::render::table08(&study));
+}

@@ -1,0 +1,7 @@
+//! Regenerate Table 9 (the Hublaagram revenue accounting), scored against
+//! the ground-truth ledger.
+use footsteps_core::Phase;
+fn main() {
+    let study = footsteps_bench::study_to(Phase::Characterized);
+    println!("{}", footsteps_bench::render::table09(&study));
+}

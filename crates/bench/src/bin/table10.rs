@@ -1,0 +1,6 @@
+//! Regenerate Table 10 (new vs preexisting payer revenue shares).
+use footsteps_core::Phase;
+fn main() {
+    let study = footsteps_bench::study_to(Phase::Characterized);
+    println!("{}", footsteps_bench::render::table10(&study));
+}

@@ -1,0 +1,6 @@
+//! Regenerate Table 11 (action-type mixes per service).
+use footsteps_core::Phase;
+fn main() {
+    let study = footsteps_bench::study_to(Phase::Characterized);
+    println!("{}", footsteps_bench::render::table11(&study));
+}

@@ -1,0 +1,66 @@
+//! Honeypot study (§4): stand up the five services, register honeypot
+//! cohorts, verify attribution and trial lengths, and measure the
+//! reciprocation matrix of Table 5.
+//!
+//! ```text
+//! cargo run --release --example honeypot_study
+//! ```
+
+use footsteps_analysis::{pct, Table};
+use footsteps_core::{paper, results, Scenario, Study};
+use footsteps_honeypot::{baseline_inbound, observed_trial_days, unrequested_action_types};
+use footsteps_sim::prelude::*;
+
+fn main() {
+    let mut study = Study::new(Scenario::smoke(11));
+    println!(
+        "registered {} honeypot accounts across {} campaigns (+{} inactive baseline)\n",
+        study.campaigns.iter().map(|c| c.total_accounts()).sum::<usize>(),
+        study.campaigns.len(),
+        study.scenario.baseline_accounts
+    );
+    study.run_characterization();
+    let end = study.timeline.narrow_start;
+
+    // §4.1.3 — attribution: the inactive baseline must be silent.
+    let noise = baseline_inbound(&study.framework, &study.platform, Day(0), end);
+    println!("baseline (inactive) inbound actions: {noise}  (attribution requires 0)");
+
+    // §4.2 — the services perform as advertised.
+    let offenders = unrequested_action_types(&study.framework, &study.platform, Day(0), end);
+    println!("honeypots with un-requested action types: {}", offenders.len());
+
+    // §4.2 — measured trial lengths.
+    let mut t = Table::new("\nTrial lengths", &["Service", "Advertised", "Measured"]);
+    for s in ServiceId::RECIPROCITY {
+        let adv = footsteps_aas::catalog::reciprocity_pricing(s).advertised_trial_days;
+        let measured = observed_trial_days(&study.framework, &study.platform, s, end);
+        t.row(&[
+            s.name().to_string(),
+            format!("{adv} days"),
+            measured.map_or("-".into(), |d| format!("{d} days")),
+        ]);
+    }
+    println!("{}", t.render());
+
+    // §4.3 — Table 5.
+    let rows = results::table5(&study);
+    let mut t = Table::new(
+        "Reciprocation (Table 5)  [measured, paper in brackets]",
+        &["Service", "Profile", "Outbound", "Likes", "Follows"],
+    );
+    for &(service, lived_in, likes, p_like, p_follow) in &paper::TABLE5 {
+        let outbound = if likes { ActionType::Like } else { ActionType::Follow };
+        if let Some(r) = footsteps_honeypot::find_row(&rows, service, outbound, lived_in) {
+            t.row(&[
+                service.name().to_string(),
+                if lived_in { "lived-in" } else { "empty" }.to_string(),
+                outbound.name().to_string(),
+                format!("{} [{p_like:.1}%]", pct(r.cell.like_rate())),
+                format!("{} [{p_follow:.1}%]", pct(r.cell.follow_rate())),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+    println!("note: smoke scale — run the table05 bench binary for the full-scale measurement");
+}

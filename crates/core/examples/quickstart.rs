@@ -1,0 +1,103 @@
+//! Quickstart: run a compact study end-to-end and print the headline
+//! results of every phase.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use footsteps_analysis::{pct, thousands, Table};
+use footsteps_core::{paper, results, Scenario, Study};
+use footsteps_sim::prelude::*;
+
+fn main() {
+    // A compact scenario (1/500 scale, 24-day characterization) so the
+    // quickstart finishes in seconds; see `revenue_audit` and
+    // `intervention_lab` for the full-scale runs.
+    let scenario = Scenario::smoke(7);
+    println!(
+        "== footsteps quickstart ==\nscale 1/{:.0}, population {}, seed {}\n",
+        1.0 / scenario.scale,
+        thousands(u64::from(scenario.population_size)),
+        scenario.seed
+    );
+
+    let mut study = Study::new(scenario);
+    println!(
+        "world ready: {} accounts, {} honeypots, 5 services\n",
+        thousands(study.platform.accounts.len() as u64),
+        study.framework.records().len()
+    );
+
+    println!("running characterization ({} days)...", study.scenario.characterization_days);
+    study.run_characterization();
+
+    // Classifier quality against ground truth.
+    let mut t = Table::new("Detection pipeline", &["Group", "Customers", "Precision", "Recall"]);
+    for group in ServiceGroup::BUSINESS {
+        let score = footsteps_detect::score_group(
+            &study.platform,
+            &study.pipeline().classification,
+            group,
+        );
+        t.row(&[
+            group.to_string(),
+            thousands((score.tp + score.fp) as u64),
+            pct(score.precision()),
+            pct(score.recall()),
+        ]);
+    }
+    println!("\n{}", t.render());
+
+    // Table 6 shape.
+    let mut t = Table::new(
+        "Customer base (Table 6 shape)",
+        &["Group", "Customers", "Long-term", "LT share", "paper LT share"],
+    );
+    for row in results::table6(&study) {
+        let paper_row = paper::TABLE6.iter().find(|(g, _, _)| *g == row.group);
+        let paper_share = paper_row.map_or(0.0, |(_, c, lt)| *lt as f64 / *c as f64);
+        t.row(&[
+            row.group.to_string(),
+            thousands(row.customers),
+            thousands(row.long_term),
+            pct(row.long_term_share()),
+            pct(paper_share),
+        ]);
+    }
+    println!("{}", t.render());
+
+    println!("running narrow intervention ({} days)...", study.scenario.narrow_days);
+    study.run_narrow();
+    let fig5 = results::figure5(&study);
+    let late_start = study.timeline.broad_start.0.saturating_sub(7);
+    println!(
+        "figure 5 (last week medians): threshold={}  block={:.0}  delay={:.0}  control={:.0}",
+        fig5.threshold,
+        fig5.block.mean_over(Day(late_start), study.timeline.broad_start),
+        fig5.delay.mean_over(Day(late_start), study.timeline.broad_start),
+        fig5.control.mean_over(Day(late_start), study.timeline.broad_start),
+    );
+
+    println!("\nrunning broad intervention ({} days)...", study.scenario.broad_days);
+    study.run_broad();
+    let fig7 = results::figure7(&study);
+    println!(
+        "figure 7 (eligible share): delay week={}  block week={}  control={}",
+        pct(fig7.treated.mean_over(study.timeline.broad_start, fig7.switch_day)),
+        pct(fig7.treated.mean_over(fig7.switch_day, study.timeline.epilogue_start)),
+        pct(fig7.control.mean_over(study.timeline.broad_start, study.timeline.epilogue_start)),
+    );
+
+    println!("\nrunning epilogue ({} days)...", study.scenario.epilogue_days);
+    study.run_epilogue();
+    let ep = results::epilogue(&study);
+    println!(
+        "epilogue: insta* migrations={}, likes on proxy={}, follows back home={}, \
+         hublaagram out-of-stock={:?}",
+        ep.reciprocity_migrations[0].1,
+        ep.insta_likes_on_proxy,
+        ep.insta_follows_back_home,
+        ep.hublaagram_out_of_stock_on.map(|d| d.0),
+    );
+    println!("\ndone.");
+}

@@ -1,0 +1,91 @@
+//! Revenue audit (§5.2): run the business characterization and score the
+//! paper's revenue-estimation methodology against the services' ground-truth
+//! payment ledgers — a validation the paper itself could not perform.
+//!
+//! ```text
+//! cargo run --release --example revenue_audit
+//! ```
+
+use footsteps_aas::catalog::fmt_dollars;
+use footsteps_analysis::{pct, ratio, thousands, Table};
+use footsteps_core::{results, Scenario, Study};
+
+fn main() {
+    let mut study = Study::new(Scenario::default_scaled(7));
+    println!("characterizing ({} days)…\n", study.scenario.characterization_days);
+    study.run_characterization();
+
+    // --- Table 8: reciprocity services ------------------------------------
+    let t8 = results::table8(&study);
+    let mut t = Table::new(
+        "Reciprocity AAS revenue (monthly)",
+        &["Pricing model", "Paid accounts", "Estimated", "Ledger truth", "est/truth"],
+    );
+    let truths = [t8.truth_cents.0, t8.truth_cents.1, t8.truth_cents.1];
+    let labels = ["Boostgram", "Insta* (Low)", "Insta* (High)"];
+    for (i, row) in t8.rows.iter().enumerate() {
+        t.row(&[
+            labels[i].to_string(),
+            thousands(row.paid_accounts),
+            fmt_dollars(row.revenue_cents),
+            fmt_dollars(truths[i]),
+            ratio(row.revenue_cents as f64, truths[i] as f64),
+        ]);
+    }
+    println!("{}", t.render());
+
+    // --- Table 9: Hublaagram ------------------------------------------------
+    let t9 = results::table9(&study);
+    let e = &t9.estimate;
+    let mut t = Table::new(
+        "Hublaagram revenue accounting",
+        &["Line", "Accounts", "Estimated", "Ledger truth"],
+    );
+    t.row(&[
+        "No outbound (lifetime)".into(),
+        thousands(e.no_outbound_accounts),
+        fmt_dollars(e.no_outbound_cents),
+        format!("{} (month)", fmt_dollars(t9.truth_cents.0)),
+    ]);
+    let tier_total: u64 = e.monthly_tier_cents.iter().sum();
+    let tier_accounts: u64 = e.monthly_tier_accounts.iter().sum();
+    t.row(&[
+        "Monthly like tiers".into(),
+        thousands(tier_accounts),
+        fmt_dollars(tier_total),
+        fmt_dollars(t9.truth_cents.1),
+    ]);
+    t.row(&[
+        "One-time likes".into(),
+        thousands(e.one_time_accounts),
+        fmt_dollars(e.one_time_cents),
+        fmt_dollars(t9.truth_cents.2),
+    ]);
+    t.row(&[
+        "Ads (low-high CPM)".into(),
+        thousands(e.ad_impressions),
+        format!("{}-{}", fmt_dollars(e.ads_low_cents), fmt_dollars(e.ads_high_cents)),
+        fmt_dollars(t9.truth_cents.3),
+    ]);
+    println!("{}", t.render());
+    println!(
+        "estimated monthly total: {}-{}\n",
+        fmt_dollars(e.monthly_total_low()),
+        fmt_dollars(e.monthly_total_high())
+    );
+
+    // --- Table 10: who pays ---------------------------------------------------
+    let mut t = Table::new(
+        "Revenue split: new vs preexisting payers  [estimated | ledger]",
+        &["Group", "New", "Preexisting"],
+    );
+    for row in results::table10(&study) {
+        t.row(&[
+            row.group.to_string(),
+            format!("{} | {}", pct(row.estimate.new_share), pct(row.truth.0)),
+            format!("{} | {}", pct(row.estimate.preexisting_share), pct(row.truth.1)),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("paper: the lion's share of revenue comes from repeat (preexisting) customers");
+}

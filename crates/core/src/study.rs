@@ -1,0 +1,484 @@
+//! The study orchestrator: the paper's methodology end to end.
+//!
+//! A [`Study`] wires the platform substrate, the five service engines, the
+//! honeypot framework, organic background traffic, the detection pipeline
+//! and the intervention machinery through the paper's phases:
+//!
+//! 1. **setup** — world construction, honeypot campaigns, customer seeding;
+//! 2. **characterization** (§4/§5) — 90 days of unhindered operation;
+//! 3. **pipeline** — signatures, classification and frozen thresholds from
+//!    the calibration tail;
+//! 4. **narrow intervention** (§6.3) — six weeks, block/delay/control bins;
+//! 5. **broad intervention** (§6.4) — one week delay, one week block, 90%;
+//! 6. **epilogue** (§6.4) — months of continued enforcement (block likes,
+//!    delay follows) during which the services migrate or fold.
+
+use crate::scenario::Scenario;
+use crate::world::AsnLayout;
+use footsteps_aas::{presets, CollusionService, PaymentLedger, ReciprocityService};
+use footsteps_detect::DetectionPipeline;
+use footsteps_honeypot::{run_campaign, CampaignReport, HoneypotFramework};
+use footsteps_intervene::{EpiloguePolicy, ExperimentPlan, ExperimentPolicy};
+use footsteps_sim::background::{run_background_day, BackgroundConfig};
+use footsteps_sim::population::{synthesize, PopulationConfig, ResidentialIndex};
+use footsteps_sim::prelude::*;
+use rand::rngs::SmallRng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Phase boundaries of a study, in days.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Timeline {
+    /// Characterization start (always day 0).
+    pub char_start: Day,
+    /// Characterization end / narrow start.
+    pub narrow_start: Day,
+    /// Narrow end / broad start.
+    pub broad_start: Day,
+    /// Broad end / epilogue start.
+    pub epilogue_start: Day,
+    /// Epilogue end (end of the study).
+    pub end: Day,
+}
+
+impl Timeline {
+    fn from_scenario(s: &Scenario) -> Self {
+        let char_start = Day(0);
+        let narrow_start = char_start.plus(s.characterization_days);
+        let broad_start = narrow_start.plus(s.narrow_days);
+        let epilogue_start = broad_start.plus(s.broad_days);
+        let end = epilogue_start.plus(s.epilogue_days);
+        Self { char_start, narrow_start, broad_start, epilogue_start, end }
+    }
+
+    /// The calibration window used to build the detection pipeline.
+    pub fn calibration(&self, tail_days: u32) -> (Day, Day) {
+        let start = Day(self.narrow_start.0.saturating_sub(tail_days));
+        (start, self.narrow_start)
+    }
+}
+
+/// How far a study has progressed. Ordered: later phases compare greater.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Phase {
+    /// Constructed, nothing run.
+    Setup,
+    /// Characterization complete, pipeline built.
+    Characterized,
+    /// Narrow intervention complete.
+    NarrowDone,
+    /// Broad intervention complete.
+    BroadDone,
+    /// Epilogue complete.
+    Finished,
+}
+
+/// A full study world.
+pub struct Study {
+    /// The configuration this study was built from.
+    pub scenario: Scenario,
+    /// Phase boundaries.
+    pub timeline: Timeline,
+    /// Progress marker.
+    pub phase: Phase,
+    /// The platform substrate.
+    pub platform: Platform,
+    /// Residential-ASN index for account creation.
+    pub residential: ResidentialIndex,
+    /// The organic population.
+    pub population: Population,
+    /// Network layout.
+    pub layout: AsnLayout,
+    /// The Instalex franchise.
+    pub instalex: ReciprocityService,
+    /// The Instazood franchise.
+    pub instazood: ReciprocityService,
+    /// Boostgram.
+    pub boostgram: ReciprocityService,
+    /// Hublaagram.
+    pub hublaagram: CollusionService,
+    /// Followersgratis.
+    pub followersgratis: CollusionService,
+    /// The honeypot framework.
+    pub framework: HoneypotFramework,
+    /// Ground-truth payments across all services.
+    pub ledger: PaymentLedger,
+    /// Campaign reports from registration.
+    pub campaigns: Vec<CampaignReport>,
+    /// The detection pipeline, once built.
+    pub pipeline: Option<DetectionPipeline>,
+    /// The narrow experiment plan.
+    pub narrow_plan: ExperimentPlan,
+    /// The broad experiment plan.
+    pub broad_plan: ExperimentPlan,
+    background: BackgroundConfig,
+    bg_rng: SmallRng,
+}
+
+impl Study {
+    /// Build the world and register all honeypot campaigns. Deterministic in
+    /// the scenario.
+    pub fn new(scenario: Scenario) -> Self {
+        assert!(scenario.is_valid(), "invalid scenario");
+        let timeline = Timeline::from_scenario(&scenario);
+        let rngs = RngFactory::new(scenario.seed);
+        let mut registry = AsnRegistry::new();
+        let layout = AsnLayout::build(&mut registry);
+        let residential = ResidentialIndex::build(&registry);
+        let mut platform = Platform::new(
+            registry,
+            PlatformConfig::default(),
+            rngs.stream("platform"),
+        );
+        let mut pop_rng = rngs.stream("population");
+        let population = synthesize(
+            &mut platform.accounts,
+            &residential,
+            &PopulationConfig {
+                size: scenario.population_size,
+                ..PopulationConfig::default()
+            },
+            &mut pop_rng,
+        );
+
+        // --- services -------------------------------------------------------
+        // The franchises share their parent's automation stack: one
+        // fingerprint variant and one hosting network, which is exactly why
+        // the paper cannot tell them apart ("Insta*").
+        let mut instalex_cfg = presets::instalex_config(scenario.scale);
+        instalex_cfg.fingerprint_variant = 1;
+        let mut instazood_cfg = presets::instazood_config(scenario.scale);
+        instazood_cfg.fingerprint_variant = 1;
+        let scale_pool = |size: usize| size.min(scenario.population_size as usize / 4);
+        // Instalex curates on the follow-from-like trait, which only ~12% of
+        // the population carries; cap its pool by that supply or the
+        // curation degenerates to uniform filling and the Table-5 anomaly
+        // (and Figures 3/4 bias) washes out at small scales.
+        instalex_cfg.pool_size = scale_pool(instalex_cfg.pool_size)
+            .min(scenario.population_size as usize / 12);
+        instazood_cfg.pool_size = scale_pool(instazood_cfg.pool_size);
+        let mut boostgram_cfg = presets::boostgram_config(scenario.scale);
+        boostgram_cfg.pool_size = scale_pool(boostgram_cfg.pool_size);
+        let instalex = ReciprocityService::new(
+            instalex_cfg,
+            &platform.accounts,
+            &population,
+            layout.insta_rotation(),
+            rngs.stream("aas.instalex"),
+        );
+        let instazood = ReciprocityService::new(
+            instazood_cfg,
+            &platform.accounts,
+            &population,
+            layout.insta_rotation(),
+            rngs.stream("aas.instazood"),
+        );
+        let boostgram = ReciprocityService::new(
+            boostgram_cfg,
+            &platform.accounts,
+            &population,
+            layout.boost_rotation(),
+            rngs.stream("aas.boostgram"),
+        );
+        let hublaagram = CollusionService::with_active_asns(
+            presets::hublaagram_config(scenario.scale),
+            layout.hubla_asns.clone(),
+            layout.hubla_asns.len(),
+            rngs.stream("aas.hublaagram"),
+        );
+        let followersgratis = CollusionService::new(
+            presets::followersgratis_config(scenario.scale),
+            vec![layout.fg_asn],
+            rngs.stream("aas.followersgratis"),
+        );
+
+        let framework = HoneypotFramework::new(layout.honeypot_home, rngs.stream("honeypot"));
+        let background = BackgroundConfig {
+            daily_actors: scenario.background_daily_actors,
+            blend: vec![(layout.insta_primary, scenario.background_blend_actors)],
+            ..BackgroundConfig::default()
+        };
+        let narrow_plan = ExperimentPlan::narrow(
+            timeline.narrow_start,
+            scenario.block_bin,
+            scenario.delay_bin,
+            scenario.control_bin,
+        );
+        let broad_plan = ExperimentPlan::broad(timeline.broad_start, scenario.control_bin);
+        let bg_rng = rngs.stream("background");
+
+        let mut study = Self {
+            scenario,
+            timeline,
+            phase: Phase::Setup,
+            platform,
+            residential,
+            population,
+            layout,
+            instalex,
+            instazood,
+            boostgram,
+            hublaagram,
+            followersgratis,
+            framework,
+            ledger: PaymentLedger::new(),
+            campaigns: Vec::new(),
+            pipeline: None,
+            narrow_plan,
+            broad_plan,
+            background,
+            bg_rng,
+        };
+        study.setup();
+        study
+    }
+
+    /// Day-0 setup: celebrities, baseline honeypots, customer stock,
+    /// registration campaigns.
+    fn setup(&mut self) {
+        self.platform.begin_day(Day(0));
+        self.framework.setup_celebrities(&mut self.platform, 25);
+        self.framework
+            .create_baseline(&mut self.platform, self.scenario.baseline_accounts);
+        self.instalex
+            .seed_initial_customers(&mut self.platform, &self.residential, Day(0));
+        self.instazood
+            .seed_initial_customers(&mut self.platform, &self.residential, Day(0));
+        self.boostgram
+            .seed_initial_customers(&mut self.platform, &self.residential, Day(0));
+        self.hublaagram.seed_initial_customers(
+            &mut self.platform,
+            &self.residential,
+            &mut self.ledger,
+            Day(0),
+        );
+        self.followersgratis.seed_initial_customers(
+            &mut self.platform,
+            &self.residential,
+            &mut self.ledger,
+            Day(0),
+        );
+        let per = self.scenario.honeypots_per_type;
+        let paid = self.scenario.paid_honeypots_per_type;
+        let reports = vec![
+            run_campaign(
+                &mut self.framework, &mut self.platform, &mut self.instalex,
+                &mut self.ledger, Day(0), per, paid,
+            ),
+            run_campaign(
+                &mut self.framework, &mut self.platform, &mut self.instazood,
+                &mut self.ledger, Day(0), per, paid,
+            ),
+            run_campaign(
+                &mut self.framework, &mut self.platform, &mut self.boostgram,
+                &mut self.ledger, Day(0), per, paid,
+            ),
+            run_campaign(
+                &mut self.framework, &mut self.platform, &mut self.hublaagram,
+                &mut self.ledger, Day(0), per, paid,
+            ),
+            run_campaign(
+                &mut self.framework, &mut self.platform, &mut self.followersgratis,
+                &mut self.ledger, Day(0), per, paid,
+            ),
+        ];
+        self.campaigns = reports;
+    }
+
+    /// Advance the world through one day: day boundary, background traffic,
+    /// then every service.
+    fn step_day(&mut self, day: Day) {
+        self.platform.begin_day(day);
+        run_background_day(
+            &mut self.platform,
+            &self.population,
+            &self.background,
+            &mut self.bg_rng,
+        );
+        self.instalex
+            .run_day(&mut self.platform, &self.residential, &mut self.ledger, day);
+        self.instazood
+            .run_day(&mut self.platform, &self.residential, &mut self.ledger, day);
+        self.boostgram
+            .run_day(&mut self.platform, &self.residential, &mut self.ledger, day);
+        self.hublaagram
+            .run_day(&mut self.platform, &self.residential, &mut self.ledger, day);
+        self.followersgratis
+            .run_day(&mut self.platform, &self.residential, &mut self.ledger, day);
+    }
+
+    /// Run the characterization phase (§4/§5) and build the detection
+    /// pipeline from the calibration tail.
+    pub fn run_characterization(&mut self) {
+        assert_eq!(self.phase, Phase::Setup, "phases must run in order");
+        for day in Day::range(self.timeline.char_start, self.timeline.narrow_start) {
+            self.step_day(day);
+        }
+        let (cal_start, cal_end) = self
+            .timeline
+            .calibration(self.scenario.calibration_tail_days);
+        self.pipeline = Some(DetectionPipeline::build_windows(
+            &self.framework,
+            &self.platform,
+            self.timeline.char_start,
+            self.timeline.narrow_start,
+            cal_start,
+            cal_end,
+        ));
+        self.phase = Phase::Characterized;
+    }
+
+    /// Run the narrow intervention (§6.3).
+    pub fn run_narrow(&mut self) {
+        assert_eq!(self.phase, Phase::Characterized, "characterize first");
+        let thresholds = self.pipeline().thresholds.clone();
+        let bins = self
+            .narrow_plan
+            .bins_on(self.timeline.narrow_start)
+            .expect("narrow plan covers its window");
+        self.platform
+            .set_policy(Box::new(ExperimentPolicy::new(thresholds, bins)));
+        for day in Day::range(self.timeline.narrow_start, self.timeline.broad_start) {
+            self.step_day(day);
+        }
+        self.phase = Phase::NarrowDone;
+    }
+
+    /// Run the broad intervention (§6.4): delay week, then block week.
+    pub fn run_broad(&mut self) {
+        assert_eq!(self.phase, Phase::NarrowDone, "narrow first");
+        let thresholds = self.pipeline().thresholds.clone();
+        for day in Day::range(self.timeline.broad_start, self.timeline.epilogue_start) {
+            if let Some(bins) = self.broad_plan.bins_on(day) {
+                // Re-installing per day is cheap and handles the mid-plan
+                // delay→block switch exactly at its boundary.
+                self.platform
+                    .set_policy(Box::new(ExperimentPolicy::new(thresholds.clone(), bins)));
+            }
+            self.step_day(day);
+        }
+        self.phase = Phase::BroadDone;
+    }
+
+    /// Run the epilogue (§6.4): months of continued enforcement (block
+    /// likes, delay follows) during which the services adapt or fold.
+    pub fn run_epilogue(&mut self) {
+        assert_eq!(self.phase, Phase::BroadDone, "broad first");
+        let thresholds = self.pipeline().thresholds.clone();
+        self.platform.set_policy(Box::new(EpiloguePolicy::new(
+            thresholds,
+            self.scenario.control_bin,
+        )));
+        for day in Day::range(self.timeline.epilogue_start, self.timeline.end) {
+            self.step_day(day);
+        }
+        self.phase = Phase::Finished;
+    }
+
+    /// Run every phase in order.
+    pub fn run_to_completion(&mut self) {
+        self.run_characterization();
+        self.run_narrow();
+        self.run_broad();
+        self.run_epilogue();
+    }
+
+    /// The detection pipeline.
+    ///
+    /// # Panics
+    /// Panics before `run_characterization`.
+    pub fn pipeline(&self) -> &DetectionPipeline {
+        self.pipeline
+            .as_ref()
+            .expect("pipeline is built by run_characterization")
+    }
+
+    /// The signature ASNs of a business group (where its traffic was seen
+    /// during calibration).
+    pub fn group_asns(&self, group: ServiceGroup) -> HashSet<AsnId> {
+        self.pipeline()
+            .signatures
+            .iter()
+            .filter(|s| group.members().contains(&s.service))
+            .flat_map(|s| s.asns.iter().copied())
+            .collect()
+    }
+
+    /// The reciprocity service engine for an id.
+    ///
+    /// # Panics
+    /// Panics for collusion services.
+    pub fn reciprocity(&self, id: ServiceId) -> &ReciprocityService {
+        match id {
+            ServiceId::Instalex => &self.instalex,
+            ServiceId::Instazood => &self.instazood,
+            ServiceId::Boostgram => &self.boostgram,
+            other => panic!("{other} is not a reciprocity service"),
+        }
+    }
+
+    /// The collusion service engine for an id.
+    ///
+    /// # Panics
+    /// Panics for reciprocity services.
+    pub fn collusion(&self, id: ServiceId) -> &CollusionService {
+        match id {
+            ServiceId::Hublaagram => &self.hublaagram,
+            ServiceId::Followersgratis => &self.followersgratis,
+            other => panic!("{other} is not a collusion service"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn setup_registers_expected_honeypot_counts() {
+        let study = Study::new(Scenario::smoke(11));
+        // Offered types: Instalex 4, Instazood 5, Boostgram 4, Hublaagram 3,
+        // Followersgratis 2 → 18 types × 4 accounts.
+        let total: usize = study.campaigns.iter().map(|c| c.total_accounts()).sum();
+        assert_eq!(total, 18 * 4);
+        // Baseline accounts exist on top.
+        assert_eq!(
+            study.framework.records().len(),
+            total + study.scenario.baseline_accounts
+        );
+        assert_eq!(study.phase, Phase::Setup);
+    }
+
+    #[test]
+    fn timeline_phases_are_contiguous() {
+        let s = Scenario::smoke(1);
+        let t = Timeline::from_scenario(&s);
+        assert_eq!(t.char_start, Day(0));
+        assert_eq!(t.narrow_start, Day(s.characterization_days));
+        assert_eq!(t.broad_start.0, s.characterization_days + s.narrow_days);
+        assert_eq!(
+            t.end.0,
+            s.characterization_days + s.narrow_days + s.broad_days + s.epilogue_days
+        );
+        let (cal_start, cal_end) = t.calibration(s.calibration_tail_days);
+        assert_eq!(cal_end, t.narrow_start);
+        assert_eq!(cal_end.days_since(cal_start), s.calibration_tail_days);
+    }
+
+    #[test]
+    #[should_panic(expected = "phases must run in order")]
+    fn phases_enforce_order() {
+        let mut study = Study::new(Scenario::smoke(2));
+        study.run_characterization();
+        study.run_characterization();
+    }
+
+    #[test]
+    fn franchises_share_fingerprint_and_network() {
+        let study = Study::new(Scenario::smoke(3));
+        assert_eq!(
+            study.instalex.current_asn(ActionType::Like),
+            study.instazood.current_asn(ActionType::Like)
+        );
+    }
+}

@@ -1,0 +1,170 @@
+//! Service signatures from honeypot ground truth.
+//!
+//! "Based on features gathered from our honeypot accounts, such as the type
+//! of action, commonly tracked information about the client (e.g., IP
+//! address, ASN), and additional signals produced within Instagram, we can
+//! identify the actions initiated by each AAS" (§5).
+//!
+//! A signature is the set of `(ASN, client fingerprint)` pairs observed
+//! driving honeypot accounts enrolled with a service. Extraction uses
+//! *only* honeypot-observable data (the event streams of tracked accounts),
+//! never the simulator's ground-truth attribution.
+
+use footsteps_honeypot::HoneypotFramework;
+use footsteps_sim::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Network+client signature of one service.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServiceSignature {
+    /// The service this signature describes.
+    pub service: ServiceId,
+    /// ASNs the service's platform traffic originates from.
+    pub asns: HashSet<AsnId>,
+    /// Client fingerprints of its automation stack.
+    pub fingerprints: HashSet<ClientFingerprint>,
+    /// Whether the service's signature traffic is *inbound* to customer
+    /// accounts (collusion networks) in addition to outbound.
+    pub collusion: bool,
+}
+
+impl ServiceSignature {
+    /// Whether an outbound record key matches this signature.
+    pub fn matches_outbound(&self, asn: AsnId, fingerprint: ClientFingerprint) -> bool {
+        self.asns.contains(&asn) && self.fingerprints.contains(&fingerprint)
+    }
+
+    /// Whether inbound traffic from `asn` matches this signature (collusion
+    /// services only — reciprocity services do not deliver inbound actions
+    /// themselves).
+    pub fn matches_inbound(&self, asn: AsnId) -> bool {
+        self.collusion && self.asns.contains(&asn)
+    }
+}
+
+/// Extract the signature of `service` from the honeypot event streams over
+/// `[start, end)`.
+///
+/// Returns `None` if no honeypot of that service saw any automation traffic
+/// in the window (no ground truth to build a signature from).
+pub fn extract_signature(
+    framework: &HoneypotFramework,
+    platform: &Platform,
+    service: ServiceId,
+    start: Day,
+    end: Day,
+) -> Option<ServiceSignature> {
+    let honeypots: Vec<(AccountId, AsnId)> = framework
+        .records_for(service)
+        .map(|r| (r.account, platform.accounts.get(r.account).home_asn))
+        .collect();
+    if honeypots.is_empty() {
+        return None;
+    }
+    let mut asns = HashSet::new();
+    let mut fingerprints = HashSet::new();
+    for &(account, home) in &honeypots {
+        for ev in platform.log.events_in(start, end, |e| e.actor == account) {
+            // The framework's own management traffic (photo uploads,
+            // lived-in setup) comes from the home network with first-party
+            // clients; everything else on the account is the service.
+            if ev.asn == home && ev.fingerprint.is_organic_client() {
+                continue;
+            }
+            asns.insert(ev.asn);
+            fingerprints.insert(ev.fingerprint);
+        }
+    }
+    if asns.is_empty() {
+        return None;
+    }
+    Some(ServiceSignature {
+        service,
+        asns,
+        fingerprints,
+        collusion: service.is_collusion(),
+    })
+}
+
+/// Extract signatures for every service with registered honeypots.
+pub fn extract_all(
+    framework: &HoneypotFramework,
+    platform: &Platform,
+    start: Day,
+    end: Day,
+) -> Vec<ServiceSignature> {
+    ServiceId::ALL
+        .into_iter()
+        .filter_map(|s| extract_signature(framework, platform, s, start, end))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use footsteps_aas::{presets, PaymentLedger, ReciprocityService};
+    use footsteps_honeypot::{run_campaign, HoneypotFramework};
+    use footsteps_sim::population::{synthesize, PopulationConfig, ResidentialIndex};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn signature_is_learned_from_honeypots_only() {
+        let mut reg = AsnRegistry::new();
+        for c in Country::ALL {
+            reg.register(&format!("res-{}", c.code()), c, AsnKind::Residential, 50_000);
+        }
+        let host = reg.register("bg-host", Country::Us, AsnKind::Hosting, 10_000);
+        let residential = ResidentialIndex::build(&reg);
+        let mut platform =
+            Platform::new(reg, PlatformConfig::default(), SmallRng::seed_from_u64(50));
+        let mut rng = SmallRng::seed_from_u64(51);
+        let pop = synthesize(
+            &mut platform.accounts,
+            &residential,
+            &PopulationConfig { size: 3_000, ..PopulationConfig::default() },
+            &mut rng,
+        );
+        let mut svc = {
+            let mut cfg = presets::boostgram_config(0.01);
+            cfg.pool_size = 400;
+            cfg.lifecycle.arrival_rate = 1.0;
+            cfg.lifecycle.initial_long_term = 5;
+            ReciprocityService::new(
+                cfg,
+                &platform.accounts,
+                &pop,
+                vec![host],
+                SmallRng::seed_from_u64(52),
+            )
+        };
+        let mut framework = HoneypotFramework::new(AsnId(0), SmallRng::seed_from_u64(53));
+        let mut ledger = PaymentLedger::new();
+        platform.begin_day(Day(0));
+        framework.setup_celebrities(&mut platform, 20);
+        svc.seed_initial_customers(&mut platform, &residential, Day(0));
+        run_campaign(&mut framework, &mut platform, &mut svc, &mut ledger, Day(0), 3, 0);
+        for d in 0..4u32 {
+            platform.begin_day(Day(d));
+            svc.run_day(&mut platform, &residential, &mut ledger, Day(d));
+        }
+        let sig = extract_signature(&framework, &platform, ServiceId::Boostgram, Day(0), Day(4))
+            .expect("signature extracted");
+        assert!(sig.asns.contains(&host));
+        assert_eq!(sig.asns.len(), 1, "only the service's hosting ASN");
+        assert!(sig
+            .fingerprints
+            .iter()
+            .all(|f| f.is_spoofed()), "only spoofed private-API clients");
+        assert!(!sig.collusion);
+        assert!(sig.matches_outbound(host, ClientFingerprint::SpoofedMobile { variant: 3 }));
+        assert!(!sig.matches_outbound(AsnId(0), ClientFingerprint::OfficialApp));
+        assert!(!sig.matches_inbound(host), "reciprocity signatures are outbound-only");
+        // No honeypots with Instalex → no signature.
+        assert!(
+            extract_signature(&framework, &platform, ServiceId::Instalex, Day(0), Day(4))
+                .is_none()
+        );
+    }
+}

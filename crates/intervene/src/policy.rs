@@ -1,0 +1,218 @@
+//! The experiment enforcement policy.
+//!
+//! Combines the frozen [`ThresholdTable`] from `footsteps-detect` with a
+//! [`BinAssignment`]: an action is *eligible* when it pushes the account's
+//! daily count past the per-ASN threshold (outbound for reciprocity ASNs,
+//! inbound for collusion ASNs — the table is keyed by direction); whether an
+//! eligible action is blocked, delay-removed or left alone depends on the
+//! account's bin.
+
+use crate::bins::BinAssignment;
+use footsteps_detect::ThresholdTable;
+use footsteps_sim::enforcement::{
+    EnforcementContext, EnforcementDecision, EnforcementPolicy,
+};
+use footsteps_sim::prelude::Countermeasure;
+
+/// Threshold+bin enforcement, installed on the platform for the duration of
+/// an experiment.
+#[derive(Debug, Clone)]
+pub struct ExperimentPolicy {
+    thresholds: ThresholdTable,
+    bins: BinAssignment,
+}
+
+impl ExperimentPolicy {
+    /// Build the policy. The threshold table is cloned and frozen inside.
+    pub fn new(thresholds: ThresholdTable, bins: BinAssignment) -> Self {
+        Self { thresholds, bins }
+    }
+
+    /// The bin assignment in force.
+    pub fn bins(&self) -> &BinAssignment {
+        &self.bins
+    }
+
+    /// The frozen thresholds in force.
+    pub fn thresholds(&self) -> &ThresholdTable {
+        &self.thresholds
+    }
+}
+
+impl EnforcementPolicy for ExperimentPolicy {
+    fn evaluate(&self, ctx: &EnforcementContext) -> EnforcementDecision {
+        let Some(threshold) = self.thresholds.get(ctx.asn, ctx.action, ctx.direction) else {
+            // No threshold for this (ASN, type, direction): not an
+            // enforcement target.
+            return EnforcementDecision::allow_all(ctx.requested);
+        };
+        let cm = self.bins.policy_for(ctx.actor).countermeasure();
+        if cm == Countermeasure::None {
+            return EnforcementDecision::allow_all(ctx.requested);
+        }
+        EnforcementDecision::threshold(ctx.requested, ctx.prior_today, threshold, cm)
+    }
+}
+
+/// The epilogue enforcement (§6.4): after the broad experiment, the
+/// countermeasures "remained active, continuing to block likes and delay
+/// follows above the activity threshold for additional months" — a per-type
+/// policy applied to everything except the control bin.
+#[derive(Debug, Clone)]
+pub struct EpiloguePolicy {
+    thresholds: ThresholdTable,
+    bins: BinAssignment,
+}
+
+impl EpiloguePolicy {
+    /// Build the epilogue policy with the same control bin as the
+    /// experiments (treatment = all other bins).
+    pub fn new(thresholds: ThresholdTable, control_bin: u32) -> Self {
+        Self {
+            thresholds,
+            bins: BinAssignment::broad(control_bin, crate::bins::BinPolicy::Block),
+        }
+    }
+}
+
+impl EnforcementPolicy for EpiloguePolicy {
+    fn evaluate(&self, ctx: &EnforcementContext) -> EnforcementDecision {
+        let Some(threshold) = self.thresholds.get(ctx.asn, ctx.action, ctx.direction) else {
+            return EnforcementDecision::allow_all(ctx.requested);
+        };
+        if self.bins.policy_for(ctx.actor) == crate::bins::BinPolicy::Control {
+            return EnforcementDecision::allow_all(ctx.requested);
+        }
+        let cm = match ctx.action {
+            footsteps_sim::prelude::ActionType::Follow => Countermeasure::DelayRemoval,
+            _ => Countermeasure::Block,
+        };
+        EnforcementDecision::threshold(ctx.requested, ctx.prior_today, threshold, cm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bins::{bin_of, BinPolicy, NUM_BINS};
+    use footsteps_sim::enforcement::Direction;
+    use footsteps_sim::prelude::*;
+
+    fn ctx(
+        account: AccountId,
+        asn: AsnId,
+        action: ActionType,
+        direction: Direction,
+        prior: u32,
+        requested: u32,
+    ) -> EnforcementContext {
+        EnforcementContext {
+            actor: account,
+            asn,
+            action,
+            direction,
+            day: Day(0),
+            prior_today: prior,
+            requested,
+        }
+    }
+
+    fn account_in_bin(bin: u32) -> AccountId {
+        (0..).map(AccountId).find(|&a| bin_of(a) == bin).unwrap()
+    }
+
+    fn policy() -> ExperimentPolicy {
+        let mut t = ThresholdTable::default();
+        t.set(AsnId(5), ActionType::Follow, Direction::Outbound, 30);
+        t.set(AsnId(6), ActionType::Like, Direction::Inbound, 40);
+        ExperimentPolicy::new(t, BinAssignment::narrow(0, 1, 2))
+    }
+
+    #[test]
+    fn unthresholded_traffic_is_untouched() {
+        let p = policy();
+        let a = account_in_bin(0); // block bin
+        // Wrong ASN.
+        let d = p.evaluate(&ctx(a, AsnId(9), ActionType::Follow, Direction::Outbound, 100, 50));
+        assert_eq!(d.pass, 50);
+        // Wrong direction.
+        let d = p.evaluate(&ctx(a, AsnId(5), ActionType::Follow, Direction::Inbound, 100, 50));
+        assert_eq!(d.pass, 50);
+        // Wrong type.
+        let d = p.evaluate(&ctx(a, AsnId(5), ActionType::Like, Direction::Outbound, 100, 50));
+        assert_eq!(d.pass, 50);
+    }
+
+    #[test]
+    fn block_bin_gets_blocked_above_threshold() {
+        let p = policy();
+        let a = account_in_bin(0);
+        let d = p.evaluate(&ctx(a, AsnId(5), ActionType::Follow, Direction::Outbound, 20, 50));
+        assert_eq!(d.pass, 10);
+        assert_eq!(d.excess, Countermeasure::Block);
+    }
+
+    #[test]
+    fn delay_bin_gets_deferred_removal() {
+        let p = policy();
+        let a = account_in_bin(1);
+        let d = p.evaluate(&ctx(a, AsnId(5), ActionType::Follow, Direction::Outbound, 0, 100));
+        assert_eq!(d.pass, 30);
+        assert_eq!(d.excess, Countermeasure::DelayRemoval);
+    }
+
+    #[test]
+    fn control_and_untreated_bins_pass_everything() {
+        let p = policy();
+        for bin in [2u32, 3, 9] {
+            let a = account_in_bin(bin);
+            let d =
+                p.evaluate(&ctx(a, AsnId(5), ActionType::Follow, Direction::Outbound, 500, 50));
+            assert_eq!(d.pass, 50, "bin {bin}");
+            assert_eq!(d.excess, Countermeasure::None);
+        }
+    }
+
+    #[test]
+    fn inbound_collusion_threshold_applies() {
+        let p = policy();
+        let a = account_in_bin(0);
+        let d = p.evaluate(&ctx(a, AsnId(6), ActionType::Like, Direction::Inbound, 35, 20));
+        assert_eq!(d.pass, 5);
+        assert_eq!(d.excess, Countermeasure::Block);
+    }
+
+    #[test]
+    fn epilogue_blocks_likes_and_delays_follows() {
+        let mut t = ThresholdTable::default();
+        t.set(AsnId(5), ActionType::Follow, Direction::Outbound, 30);
+        t.set(AsnId(5), ActionType::Like, Direction::Outbound, 30);
+        let p = super::EpiloguePolicy::new(t, 2);
+        let a = account_in_bin(0);
+        let d = p.evaluate(&ctx(a, AsnId(5), ActionType::Follow, Direction::Outbound, 30, 10));
+        assert_eq!(d.excess, Countermeasure::DelayRemoval);
+        let d = p.evaluate(&ctx(a, AsnId(5), ActionType::Like, Direction::Outbound, 30, 10));
+        assert_eq!(d.excess, Countermeasure::Block);
+        // Control bin exempt.
+        let c = account_in_bin(2);
+        let d = p.evaluate(&ctx(c, AsnId(5), ActionType::Like, Direction::Outbound, 500, 10));
+        assert_eq!(d.pass, 10);
+    }
+
+    #[test]
+    fn broad_policy_treats_ninety_percent() {
+        let mut t = ThresholdTable::default();
+        t.set(AsnId(5), ActionType::Follow, Direction::Outbound, 30);
+        let p = ExperimentPolicy::new(t, BinAssignment::broad(2, BinPolicy::Delay));
+        let mut treated = 0;
+        for bin in 0..NUM_BINS {
+            let a = account_in_bin(bin);
+            let d =
+                p.evaluate(&ctx(a, AsnId(5), ActionType::Follow, Direction::Outbound, 100, 10));
+            if d.pass == 0 && d.excess == Countermeasure::DelayRemoval {
+                treated += 1;
+            }
+        }
+        assert_eq!(treated, 9);
+    }
+}

@@ -1,0 +1,303 @@
+//! The follow graph.
+//!
+//! A full edge store for hundreds of thousands of simulated users would be
+//! wasteful: the measurement pipeline only ever inspects *degrees* of
+//! organic accounts (Figures 3/4 compare follower/following counts), while
+//! exact edge sets matter only for *tracked* accounts — honeypots (whose
+//! inbound follow events are the ground truth of §4) and countermeasure
+//! bookkeeping (delayed removal must undo specific follows).
+//!
+//! The graph therefore stores:
+//! * degree counters on every account (owned by [`crate::account::Account`]);
+//! * exact follower/following sets for accounts explicitly marked *tracked*.
+//!
+//! This is the scalability design documented in DESIGN.md; it mirrors how
+//! production measurement systems aggregate.
+
+use crate::account::AccountStore;
+use crate::ids::AccountId;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// Outcome of attempting to add a follow edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FollowResult {
+    /// A new edge was created.
+    Created,
+    /// The edge already existed (tracked endpoints only; untracked edges are
+    /// approximated as always-new, which is accurate because services
+    /// deduplicate their own target lists).
+    AlreadyFollowing,
+    /// Self-follows are rejected.
+    SelfFollow,
+}
+
+/// The follow graph with tracked-edge refinement.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SocialGraph {
+    /// Accounts whose exact edges are maintained.
+    tracked: HashSet<AccountId>,
+    /// Exact follower sets (who follows the key) for tracked accounts.
+    followers_of: HashMap<AccountId, HashSet<AccountId>>,
+    /// Exact following sets (whom the key follows) for tracked accounts.
+    following_of: HashMap<AccountId, HashSet<AccountId>>,
+}
+
+impl SocialGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Mark an account as tracked, so its exact edges are maintained from
+    /// now on. (Pre-existing untracked edges are not reconstructed; track
+    /// accounts at creation time.)
+    pub fn track(&mut self, id: AccountId) {
+        self.tracked.insert(id);
+        self.followers_of.entry(id).or_default();
+        self.following_of.entry(id).or_default();
+    }
+
+    /// Whether an account's exact edges are maintained.
+    pub fn is_tracked(&self, id: AccountId) -> bool {
+        self.tracked.contains(&id)
+    }
+
+    /// Add a follow edge `from -> to`, updating degree counters and (for
+    /// tracked endpoints) exact sets.
+    pub fn follow(
+        &mut self,
+        accounts: &mut AccountStore,
+        from: AccountId,
+        to: AccountId,
+    ) -> FollowResult {
+        if from == to {
+            return FollowResult::SelfFollow;
+        }
+        let from_tracked = self.is_tracked(from);
+        let to_tracked = self.is_tracked(to);
+        if from_tracked || to_tracked {
+            // Check duplicates on whichever exact set we have.
+            let dup = if from_tracked {
+                self.following_of.get(&from).is_some_and(|s| s.contains(&to))
+            } else {
+                self.followers_of.get(&to).is_some_and(|s| s.contains(&from))
+            };
+            if dup {
+                return FollowResult::AlreadyFollowing;
+            }
+            if from_tracked {
+                self.following_of.entry(from).or_default().insert(to);
+            }
+            if to_tracked {
+                self.followers_of.entry(to).or_default().insert(from);
+            }
+        }
+        accounts.get_mut(from).following += 1;
+        accounts.get_mut(to).followers += 1;
+        FollowResult::Created
+    }
+
+    /// Remove a follow edge `from -> to`. Returns `true` if (as far as the
+    /// graph can tell) an edge was removed. For untracked pairs this is
+    /// approximate: counters are decremented saturating at zero.
+    pub fn unfollow(
+        &mut self,
+        accounts: &mut AccountStore,
+        from: AccountId,
+        to: AccountId,
+    ) -> bool {
+        if from == to {
+            return false;
+        }
+        let from_tracked = self.is_tracked(from);
+        let to_tracked = self.is_tracked(to);
+        if from_tracked || to_tracked {
+            let existed_from = if from_tracked {
+                self.following_of
+                    .get_mut(&from)
+                    .is_some_and(|s| s.remove(&to))
+            } else {
+                false
+            };
+            let existed_to = if to_tracked {
+                self.followers_of
+                    .get_mut(&to)
+                    .is_some_and(|s| s.remove(&from))
+            } else {
+                false
+            };
+            let existed = existed_from || existed_to;
+            if !existed {
+                return false;
+            }
+        }
+        let f = accounts.get_mut(from);
+        f.following = f.following.saturating_sub(1);
+        let t = accounts.get_mut(to);
+        t.followers = t.followers.saturating_sub(1);
+        true
+    }
+
+    /// Exact follower set of a tracked account.
+    ///
+    /// # Panics
+    /// Panics if the account is not tracked — callers must not confuse the
+    /// approximate and exact worlds.
+    pub fn followers_of(&self, id: AccountId) -> &HashSet<AccountId> {
+        self.followers_of
+            .get(&id)
+            .unwrap_or_else(|| panic!("{id} is not tracked"))
+    }
+
+    /// Exact following set of a tracked account.
+    ///
+    /// # Panics
+    /// Panics if the account is not tracked.
+    pub fn following_of(&self, id: AccountId) -> &HashSet<AccountId> {
+        self.following_of
+            .get(&id)
+            .unwrap_or_else(|| panic!("{id} is not tracked"))
+    }
+
+    /// Drop all edges touching a tracked account (used when a honeypot is
+    /// deleted: "all actions to or from the account are eventually removed",
+    /// §4.1.1). Degree counters of the counterparties are restored.
+    pub fn purge_account(&mut self, accounts: &mut AccountStore, id: AccountId) {
+        let followers: Vec<AccountId> = self
+            .followers_of
+            .get(&id)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default();
+        for f in followers {
+            self.unfollow(accounts, f, id);
+        }
+        let following: Vec<AccountId> = self
+            .following_of
+            .get(&id)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default();
+        for t in following {
+            self.unfollow(accounts, id, t);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::account::{ProfileKind, ReciprocityProfile};
+    use crate::country::Country;
+    use crate::ids::AsnId;
+    use crate::time::SimTime;
+
+    fn store_with(n: usize) -> AccountStore {
+        let mut s = AccountStore::new();
+        for _ in 0..n {
+            s.create(
+                SimTime::EPOCH,
+                ProfileKind::Organic,
+                Country::Us,
+                AsnId(0),
+                0,
+                0,
+                ReciprocityProfile::SILENT,
+            );
+        }
+        s
+    }
+
+    #[test]
+    fn follow_updates_degrees() {
+        let mut accounts = store_with(3);
+        let mut g = SocialGraph::new();
+        assert_eq!(
+            g.follow(&mut accounts, AccountId(0), AccountId(1)),
+            FollowResult::Created
+        );
+        assert_eq!(accounts.get(AccountId(0)).following, 1);
+        assert_eq!(accounts.get(AccountId(1)).followers, 1);
+    }
+
+    #[test]
+    fn self_follow_rejected() {
+        let mut accounts = store_with(1);
+        let mut g = SocialGraph::new();
+        assert_eq!(
+            g.follow(&mut accounts, AccountId(0), AccountId(0)),
+            FollowResult::SelfFollow
+        );
+        assert_eq!(accounts.get(AccountId(0)).following, 0);
+    }
+
+    #[test]
+    fn tracked_accounts_deduplicate_edges() {
+        let mut accounts = store_with(2);
+        let mut g = SocialGraph::new();
+        g.track(AccountId(1));
+        assert_eq!(
+            g.follow(&mut accounts, AccountId(0), AccountId(1)),
+            FollowResult::Created
+        );
+        assert_eq!(
+            g.follow(&mut accounts, AccountId(0), AccountId(1)),
+            FollowResult::AlreadyFollowing
+        );
+        assert_eq!(accounts.get(AccountId(1)).followers, 1);
+        assert!(g.followers_of(AccountId(1)).contains(&AccountId(0)));
+    }
+
+    #[test]
+    fn unfollow_tracked_edge() {
+        let mut accounts = store_with(2);
+        let mut g = SocialGraph::new();
+        g.track(AccountId(0));
+        g.follow(&mut accounts, AccountId(0), AccountId(1));
+        assert!(g.unfollow(&mut accounts, AccountId(0), AccountId(1)));
+        assert_eq!(accounts.get(AccountId(0)).following, 0);
+        assert_eq!(accounts.get(AccountId(1)).followers, 0);
+        // Second removal reports no edge.
+        assert!(!g.unfollow(&mut accounts, AccountId(0), AccountId(1)));
+        assert_eq!(accounts.get(AccountId(1)).followers, 0, "no underflow");
+    }
+
+    #[test]
+    fn untracked_unfollow_is_approximate_but_saturating() {
+        let mut accounts = store_with(2);
+        let mut g = SocialGraph::new();
+        g.follow(&mut accounts, AccountId(0), AccountId(1));
+        assert!(g.unfollow(&mut accounts, AccountId(0), AccountId(1)));
+        // Approximate world: a second unfollow still "succeeds" but degrees
+        // saturate at zero rather than underflowing.
+        assert!(g.unfollow(&mut accounts, AccountId(0), AccountId(1)));
+        assert_eq!(accounts.get(AccountId(0)).following, 0);
+        assert_eq!(accounts.get(AccountId(1)).followers, 0);
+    }
+
+    #[test]
+    fn purge_restores_counterparty_degrees() {
+        let mut accounts = store_with(4);
+        let mut g = SocialGraph::new();
+        let hp = AccountId(0);
+        g.track(hp);
+        // Two inbound, one outbound edge.
+        g.follow(&mut accounts, AccountId(1), hp);
+        g.follow(&mut accounts, AccountId(2), hp);
+        g.follow(&mut accounts, hp, AccountId(3));
+        g.purge_account(&mut accounts, hp);
+        assert_eq!(accounts.get(hp).followers, 0);
+        assert_eq!(accounts.get(hp).following, 0);
+        assert_eq!(accounts.get(AccountId(1)).following, 0);
+        assert_eq!(accounts.get(AccountId(2)).following, 0);
+        assert_eq!(accounts.get(AccountId(3)).followers, 0);
+        assert!(g.followers_of(hp).is_empty());
+        assert!(g.following_of(hp).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "not tracked")]
+    fn exact_sets_of_untracked_panic() {
+        let g = SocialGraph::new();
+        g.followers_of(AccountId(0));
+    }
+}

@@ -1,0 +1,424 @@
+//! The platform action log.
+//!
+//! Everything the paper measures is a query over this log: per-account daily
+//! action counts (thresholds, §6.2), per-ASN activity (attribution, Table 7),
+//! inbound-only accounts (Hublaagram's no-outbound fee, §5.2), per-photo
+//! hourly like rates (paid-customer identification, §5.2), and per-event
+//! streams for honeypots (§4).
+//!
+//! Per the two-speed design, bulk activity is stored as **daily aggregates**
+//! and full [`ActionEvent`]s are retained only for accounts registered as
+//! *event-tracked*.
+
+use crate::actions::{ActionEvent, ActionOutcome, ActionType, TypeCounts};
+use crate::fingerprint::ClientFingerprint;
+use crate::ids::{AccountId, AsnId, MediaId};
+use crate::time::Day;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// Key of an outbound aggregate record: who acted, from which network, with
+/// which client software. The fingerprint is part of the key because the
+/// platform's abuse signals combine ASN and client fingerprint (§5) — a
+/// mixed ASN hosting both organic app traffic and a service's spoofed
+/// private-API traffic must keep the two distinguishable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct OutboundKey {
+    /// Acting account.
+    pub account: AccountId,
+    /// Source ASN.
+    pub asn: AsnId,
+    /// Client fingerprint of the submitting software.
+    pub fingerprint: ClientFingerprint,
+}
+
+/// Source of an inbound aggregate record: the ASN the actions came from, or
+/// `None` for diffuse organic sources (aggregate reciprocation has no single
+/// origin network).
+pub type InboundSource = Option<AsnId>;
+
+/// Like-delivery statistics for one photo on one day.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhotoDayLikes {
+    /// Total likes delivered to the photo this day.
+    pub total: u32,
+    /// The largest number of likes delivered within any single hour of the
+    /// day. Hublaagram's free tier is capped at 160 likes/hour, so paid
+    /// deliveries are identified by exceeding that rate (§5.2).
+    pub max_hourly: u32,
+}
+
+impl PhotoDayLikes {
+    /// Fold a delivery burst of `total` likes with peak hourly rate
+    /// `max_hourly` into the day's stats.
+    pub fn add_burst(&mut self, total: u32, max_hourly: u32) {
+        self.total += total;
+        self.max_hourly = self.max_hourly.max(max_hourly);
+    }
+}
+
+/// Aggregated activity for a single day.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DayLog {
+    /// Outbound activity: what each account *did*, keyed by source ASN and
+    /// client fingerprint (countermeasures are per-ASN; attribution uses
+    /// ASN + fingerprint).
+    pub outbound: HashMap<OutboundKey, TypeCounts>,
+    /// Inbound activity: what each account *received*, keyed by the source
+    /// network (`None` = diffuse organic sources).
+    pub inbound: HashMap<(AccountId, InboundSource), TypeCounts>,
+    /// Per-photo like-delivery stats for tracked photos.
+    pub photo_likes: HashMap<MediaId, PhotoDayLikes>,
+    /// Full events for event-tracked accounts.
+    pub events: Vec<ActionEvent>,
+}
+
+impl DayLog {
+    /// Total outbound actions of `ty` attempted by `account` across all ASNs.
+    pub fn outbound_attempted(&self, account: AccountId, ty: ActionType) -> u32 {
+        self.outbound
+            .iter()
+            .filter(|(k, _)| k.account == account)
+            .map(|(_, c)| c.attempted_of(ty))
+            .sum()
+    }
+
+    /// Merged outbound counters for `(account, asn)` across fingerprints.
+    /// Returns `None` if nothing was recorded.
+    pub fn outbound_at(&self, account: AccountId, asn: AsnId) -> Option<TypeCounts> {
+        let mut total = TypeCounts::default();
+        let mut any = false;
+        for (k, c) in &self.outbound {
+            if k.account == account && k.asn == asn {
+                total.merge(c);
+                any = true;
+            }
+        }
+        any.then_some(total)
+    }
+
+    /// Merged inbound counters for an account across all sources.
+    pub fn inbound_of(&self, account: AccountId) -> Option<TypeCounts> {
+        let mut total = TypeCounts::default();
+        let mut any = false;
+        for ((a, _), c) in &self.inbound {
+            if *a == account {
+                total.merge(c);
+                any = true;
+            }
+        }
+        any.then_some(total)
+    }
+
+    /// Inbound counters for an account restricted to one source ASN.
+    pub fn inbound_from(&self, account: AccountId, asn: AsnId) -> Option<&TypeCounts> {
+        self.inbound.get(&(account, Some(asn)))
+    }
+}
+
+/// The append-only platform log, indexed by day.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ActionLog {
+    days: Vec<DayLog>,
+    /// Accounts for which full per-action events are retained.
+    event_tracked: HashSet<AccountId>,
+}
+
+impl ActionLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register an account for event-level retention. Events involving the
+    /// account (as actor or target) from now on are stored verbatim.
+    pub fn track_events_for(&mut self, id: AccountId) {
+        self.event_tracked.insert(id);
+    }
+
+    /// Whether events for this account are retained.
+    pub fn is_event_tracked(&self, id: AccountId) -> bool {
+        self.event_tracked.contains(&id)
+    }
+
+    /// Mutable day record, growing the log as needed.
+    pub fn day_mut(&mut self, day: Day) -> &mut DayLog {
+        let idx = day.0 as usize;
+        if idx >= self.days.len() {
+            self.days.resize_with(idx + 1, DayLog::default);
+        }
+        &mut self.days[idx]
+    }
+
+    /// Day record, if the day is within the log's range.
+    pub fn day(&self, day: Day) -> Option<&DayLog> {
+        self.days.get(day.0 as usize)
+    }
+
+    /// Number of days with (potential) records, i.e. one past the last
+    /// recorded day.
+    pub fn horizon(&self) -> Day {
+        Day(self.days.len() as u32)
+    }
+
+    /// Iterate `(day, record)` over all recorded days.
+    pub fn iter_days(&self) -> impl Iterator<Item = (Day, &DayLog)> {
+        self.days.iter().enumerate().map(|(i, d)| (Day(i as u32), d))
+    }
+
+    /// Iterate `(day, record)` over `[start, end)` intersected with the log.
+    pub fn iter_range(&self, start: Day, end: Day) -> impl Iterator<Item = (Day, &DayLog)> {
+        let lo = start.0 as usize;
+        let hi = (end.0 as usize).min(self.days.len());
+        self.days[lo.min(hi)..hi]
+            .iter()
+            .enumerate()
+            .map(move |(i, d)| (Day((lo + i) as u32), d))
+    }
+
+    /// Record `n` outbound actions for `(actor, asn, fingerprint)` on `day`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_outbound(
+        &mut self,
+        day: Day,
+        actor: AccountId,
+        asn: AsnId,
+        fingerprint: ClientFingerprint,
+        ty: ActionType,
+        outcome: ActionOutcome,
+        n: u32,
+    ) {
+        if n == 0 {
+            return;
+        }
+        self.day_mut(day)
+            .outbound
+            .entry(OutboundKey { account: actor, asn, fingerprint })
+            .or_default()
+            .record(ty, outcome, n);
+    }
+
+    /// Record `n` delivered inbound actions landing on `target` on `day`
+    /// from `source` (`None` = diffuse organic sources).
+    pub fn record_inbound(
+        &mut self,
+        day: Day,
+        target: AccountId,
+        source: InboundSource,
+        ty: ActionType,
+        n: u32,
+    ) {
+        self.record_inbound_with(day, target, source, ty, ActionOutcome::Delivered, n);
+    }
+
+    /// Record `n` inbound actions directed at `target` with an explicit
+    /// outcome. Collusion-network deliveries use this to account for
+    /// inbound-side countermeasures (blocked deliveries never land but are
+    /// still part of the measured demand, Figure 6).
+    pub fn record_inbound_with(
+        &mut self,
+        day: Day,
+        target: AccountId,
+        source: InboundSource,
+        ty: ActionType,
+        outcome: ActionOutcome,
+        n: u32,
+    ) {
+        if n == 0 {
+            return;
+        }
+        self.day_mut(day)
+            .inbound
+            .entry((target, source))
+            .or_default()
+            .record(ty, outcome, n);
+    }
+
+    /// Record a like-delivery burst onto a photo.
+    pub fn record_photo_likes(&mut self, day: Day, media: MediaId, total: u32, max_hourly: u32) {
+        if total == 0 {
+            return;
+        }
+        self.day_mut(day)
+            .photo_likes
+            .entry(media)
+            .or_default()
+            .add_burst(total, max_hourly);
+    }
+
+    /// Append a full event if either endpoint is event-tracked; returns
+    /// whether it was retained. (Aggregates must be recorded separately —
+    /// the log does not double-count on your behalf.)
+    pub fn push_event(&mut self, ev: ActionEvent) -> bool {
+        let target_tracked = ev
+            .target
+            .account()
+            .is_some_and(|t| self.event_tracked.contains(&t));
+        if self.event_tracked.contains(&ev.actor) || target_tracked {
+            let day = ev.at.day();
+            self.day_mut(day).events.push(ev);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// All retained events in `[start, end)` for which `pred` holds.
+    pub fn events_in<'a>(
+        &'a self,
+        start: Day,
+        end: Day,
+        mut pred: impl FnMut(&ActionEvent) -> bool + 'a,
+    ) -> impl Iterator<Item = &'a ActionEvent> {
+        self.iter_range(start, end)
+            .flat_map(|(_, d)| d.events.iter())
+            .filter(move |e| pred(e))
+    }
+
+    /// Sum of outbound attempted actions of `ty` by `actor` over `[start, end)`.
+    pub fn total_outbound(&self, actor: AccountId, ty: ActionType, start: Day, end: Day) -> u64 {
+        self.iter_range(start, end)
+            .map(|(_, d)| u64::from(d.outbound_attempted(actor, ty)))
+            .sum()
+    }
+
+    /// Sum of delivered inbound actions of `ty` to `target` over `[start, end)`.
+    pub fn total_inbound(&self, target: AccountId, ty: ActionType, start: Day, end: Day) -> u64 {
+        self.iter_range(start, end)
+            .filter_map(|(_, d)| d.inbound_of(target))
+            .map(|c| u64::from(c.delivered[ty.index()]))
+            .sum()
+    }
+
+    /// Sum of delivered inbound actions of `ty` to `target` from a specific
+    /// source ASN over `[start, end)`.
+    pub fn total_inbound_from(
+        &self,
+        target: AccountId,
+        asn: AsnId,
+        ty: ActionType,
+        start: Day,
+        end: Day,
+    ) -> u64 {
+        self.iter_range(start, end)
+            .filter_map(|(_, d)| d.inbound_from(target, asn))
+            .map(|c| u64::from(c.delivered[ty.index()]))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::actions::ActionTarget;
+    use crate::fingerprint::ClientFingerprint;
+    use crate::net::IpAddr4;
+
+    fn ev(actor: u32, target: u32, day: u32) -> ActionEvent {
+        ActionEvent {
+            at: Day(day).start().plus_hours(1),
+            actor: AccountId(actor),
+            action: ActionType::Follow,
+            target: ActionTarget::Account(AccountId(target)),
+            ip: IpAddr4(1),
+            asn: AsnId(0),
+            fingerprint: ClientFingerprint::OfficialApp,
+            outcome: ActionOutcome::Delivered,
+        }
+    }
+
+    #[test]
+    fn outbound_aggregation_by_asn_and_fingerprint() {
+        let mut log = ActionLog::new();
+        let a = AccountId(1);
+        let app = ClientFingerprint::OfficialApp;
+        let spoof = ClientFingerprint::SpoofedMobile { variant: 1 };
+        log.record_outbound(Day(0), a, AsnId(0), app, ActionType::Like, ActionOutcome::Delivered, 5);
+        log.record_outbound(Day(0), a, AsnId(1), spoof, ActionType::Like, ActionOutcome::Blocked, 3);
+        log.record_outbound(Day(0), a, AsnId(1), app, ActionType::Like, ActionOutcome::Delivered, 2);
+        let d = log.day(Day(0)).unwrap();
+        assert_eq!(d.outbound_attempted(a, ActionType::Like), 10);
+        // Merged across fingerprints at one ASN.
+        let at1 = d.outbound_at(a, AsnId(1)).unwrap();
+        assert_eq!(at1.blocked_of(ActionType::Like), 3);
+        assert_eq!(at1.attempted_of(ActionType::Like), 5);
+        // Fingerprints remain distinguishable in the raw map.
+        assert_eq!(d.outbound.len(), 3);
+        assert_eq!(log.total_outbound(a, ActionType::Like, Day(0), Day(1)), 10);
+    }
+
+    #[test]
+    fn zero_counts_are_not_stored() {
+        let mut log = ActionLog::new();
+        log.record_outbound(
+            Day(0),
+            AccountId(1),
+            AsnId(0),
+            ClientFingerprint::OfficialApp,
+            ActionType::Like,
+            ActionOutcome::Delivered,
+            0,
+        );
+        log.record_inbound(Day(0), AccountId(1), None, ActionType::Like, 0);
+        assert!(log.day(Day(0)).is_none(), "no day record materialised");
+    }
+
+    #[test]
+    fn inbound_totals_over_range_and_sources() {
+        let mut log = ActionLog::new();
+        let t = AccountId(9);
+        log.record_inbound(Day(1), t, None, ActionType::Follow, 2);
+        log.record_inbound(Day(3), t, Some(AsnId(7)), ActionType::Follow, 5);
+        assert_eq!(log.total_inbound(t, ActionType::Follow, Day(0), Day(3)), 2);
+        assert_eq!(log.total_inbound(t, ActionType::Follow, Day(0), Day(10)), 7);
+        assert_eq!(
+            log.total_inbound_from(t, AsnId(7), ActionType::Follow, Day(0), Day(10)),
+            5
+        );
+        assert_eq!(
+            log.total_inbound_from(t, AsnId(8), ActionType::Follow, Day(0), Day(10)),
+            0
+        );
+    }
+
+    #[test]
+    fn photo_like_bursts_track_peak_hourly() {
+        let mut log = ActionLog::new();
+        let m = MediaId(4);
+        log.record_photo_likes(Day(2), m, 300, 150);
+        log.record_photo_likes(Day(2), m, 400, 200);
+        let p = log.day(Day(2)).unwrap().photo_likes[&m];
+        assert_eq!(p.total, 700);
+        assert_eq!(p.max_hourly, 200);
+    }
+
+    #[test]
+    fn events_retained_only_for_tracked_accounts() {
+        let mut log = ActionLog::new();
+        log.track_events_for(AccountId(7));
+        assert!(!log.push_event(ev(1, 2, 0)), "untracked dropped");
+        assert!(log.push_event(ev(7, 2, 0)), "tracked actor kept");
+        assert!(log.push_event(ev(3, 7, 1)), "tracked target kept");
+        let n = log.events_in(Day(0), Day(2), |_| true).count();
+        assert_eq!(n, 2);
+        let n0 = log.events_in(Day(0), Day(1), |_| true).count();
+        assert_eq!(n0, 1);
+    }
+
+    #[test]
+    fn iter_range_clamps_to_log() {
+        let mut log = ActionLog::new();
+        log.record_inbound(Day(0), AccountId(0), None, ActionType::Like, 1);
+        let collected: Vec<Day> = log.iter_range(Day(0), Day(100)).map(|(d, _)| d).collect();
+        assert_eq!(collected, vec![Day(0)]);
+        assert_eq!(log.iter_range(Day(5), Day(2)).count(), 0);
+    }
+
+    #[test]
+    fn horizon_grows_with_day_mut() {
+        let mut log = ActionLog::new();
+        assert_eq!(log.horizon(), Day(0));
+        log.day_mut(Day(4));
+        assert_eq!(log.horizon(), Day(5));
+    }
+}

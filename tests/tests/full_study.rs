@@ -1,0 +1,115 @@
+//! One smoke study through every phase, with the paper's headline findings
+//! asserted along the way. This is the repository's end-to-end smoke test.
+
+use footsteps_core::{results, Phase, Scenario, Study};
+use footsteps_detect::score_group;
+use footsteps_honeypot::{baseline_inbound, observed_trial_days, unrequested_action_types};
+use footsteps_sim::prelude::*;
+
+#[test]
+fn full_study_end_to_end() {
+    let mut study = Study::new(Scenario::smoke(21));
+    study.run_characterization();
+    let end = study.timeline.narrow_start;
+
+    // Classifier quality is scored at the moment the pipeline is built —
+    // ground truth keeps accumulating afterwards (new customers enroll
+    // during the interventions), which would read as false negatives.
+    for group in ServiceGroup::BUSINESS {
+        let score = score_group(&study.platform, &study.pipeline().classification, group);
+        assert!(score.precision() > 0.98, "{group} precision {}", score.precision());
+        assert!(score.recall() > 0.9, "{group} recall {}", score.recall());
+    }
+
+    study.run_narrow();
+    study.run_broad();
+    study.run_epilogue();
+    assert_eq!(study.phase, Phase::Finished);
+
+    // --- §4: honeypot methodology -----------------------------------------
+    assert_eq!(
+        baseline_inbound(&study.framework, &study.platform, Day(0), end),
+        0,
+        "inactive baseline accounts must see zero activity"
+    );
+    assert!(
+        unrequested_action_types(&study.framework, &study.platform, Day(0), end).is_empty(),
+        "services only perform requested action types"
+    );
+    assert_eq!(
+        observed_trial_days(&study.framework, &study.platform, ServiceId::Instazood, end),
+        Some(7),
+        "Instazood delivers 7 trial days despite advertising 3"
+    );
+    assert_eq!(
+        observed_trial_days(&study.framework, &study.platform, ServiceId::Boostgram, end),
+        Some(3)
+    );
+
+    // --- §5: business characterization ---------------------------------------
+    let t6 = results::table6(&study);
+    let hubla = t6.iter().find(|r| r.group == ServiceGroup::Hublaagram).unwrap();
+    let insta = t6.iter().find(|r| r.group == ServiceGroup::InstaStar).unwrap();
+    // Paper ratio is ~8.3x (1.01M vs 121.7k); scale noise gives headroom.
+    assert!(
+        hubla.customers > 5 * insta.customers,
+        "Hublaagram dwarfs the paid services ({} vs {})",
+        hubla.customers,
+        insta.customers
+    );
+    assert!(hubla.long_term_share() > insta.long_term_share());
+
+    // Table 5 shape: follows reciprocate an order of magnitude above likes,
+    // and follow→like reciprocation is zero.
+    let t5 = results::table5(&study);
+    let like_rows: Vec<_> = t5.iter().filter(|r| r.outbound == ActionType::Like).collect();
+    let follow_rows: Vec<_> = t5.iter().filter(|r| r.outbound == ActionType::Follow).collect();
+    assert!(!like_rows.is_empty() && !follow_rows.is_empty());
+    let mean_like: f64 = like_rows.iter().map(|r| r.cell.like_rate()).sum::<f64>()
+        / like_rows.len() as f64;
+    let mean_follow: f64 = follow_rows.iter().map(|r| r.cell.follow_rate()).sum::<f64>()
+        / follow_rows.len() as f64;
+    assert!(mean_follow > 3.0 * mean_like, "{mean_follow} vs {mean_like}");
+    assert!(follow_rows.iter().all(|r| r.cell.inbound_likes == 0));
+
+    // Revenue: the estimator brackets/approaches the ledger truth.
+    let t8 = results::table8(&study);
+    let boost_est = t8.rows[0].revenue_cents as f64;
+    let boost_truth = t8.truth_cents.0 as f64;
+    assert!(boost_truth > 0.0);
+    // At the smoke scenario's compressed 24-day window the estimator's
+    // block-rounding (min purchase = 30 days) overshoots relative to the
+    // renewals that happen to land inside the window; at the default
+    // 90-day scenario estimate and truth agree within a few percent
+    // (see EXPERIMENTS.md).
+    assert!(
+        (0.4..=3.0).contains(&(boost_est / boost_truth)),
+        "estimate {boost_est} vs truth {boost_truth}"
+    );
+    // Table 10: at smoke scale the revenue window covers the entire
+    // history, so "preexisting" payers cannot exist; just verify the
+    // shares are well-formed. (The repeat-customers-dominate finding is
+    // asserted at full scale in EXPERIMENTS.md and in the analysis unit
+    // tests.)
+    for row in results::table10(&study) {
+        let total = row.estimate.new_share + row.estimate.preexisting_share;
+        assert!((total - 1.0).abs() < 1e-9, "{}: {:?}", row.group, row.estimate);
+    }
+
+    // Figures 3/4: targeting bias.
+    assert!(results::figures34(&study).bias_holds());
+
+    // --- §6: interventions ---------------------------------------------------
+    let f7 = results::figure7(&study);
+    let delay_week = f7.treated.mean_over(study.timeline.broad_start, f7.switch_day);
+    let block_week = f7.treated.mean_over(f7.switch_day, study.timeline.epilogue_start);
+    assert!(
+        block_week < 0.5 * delay_week,
+        "blocking provokes adaptation ({block_week}) while delay does not ({delay_week})"
+    );
+
+    // --- epilogue --------------------------------------------------------------
+    let ep = results::epilogue(&study);
+    assert!(ep.insta_follows_back_home || !ep.insta_likes_on_proxy,
+        "if likes never migrated, follows trivially remain home");
+}
