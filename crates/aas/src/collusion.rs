@@ -122,6 +122,28 @@ struct DayStats {
     per_recipient: HashMap<AccountId, (u64, u64, u32)>,
 }
 
+/// Everything the decision phase resolved for one engaged member-day: free
+/// requests made, purchase rolls, posting. The apply phase turns this into
+/// deposits, ledger rows and stats, serially, in roster order.
+#[derive(Debug, Clone, Copy)]
+struct MemberPlan {
+    account: AccountId,
+    login: bool,
+    fresh_photo: bool,
+    like_requests: u32,
+    /// Pop-under ads shown per free like request today.
+    like_ads_each: u32,
+    follow_requests: u32,
+    /// Pop-under ads shown per free follow request today.
+    follow_ads_each: u32,
+    comment_requests: u32,
+    /// Monthly-tier like quantity (drawn only when subscribed and posting
+    /// a fresh photo today).
+    monthly_qty: u32,
+    /// Index into `followersgratis_packages` if a package is bought today.
+    package: Option<usize>,
+}
+
 /// Sentinel account id used for ad-income ledger rows.
 pub const ADS_ACCOUNT: AccountId = AccountId(u32::MAX);
 
@@ -152,6 +174,11 @@ pub struct CollusionService {
     /// migration / out-of-stock).
     heavy_throttle_days: u32,
     rng: SmallRng,
+    /// Seed of the per-member decision streams: each member-day's plan is
+    /// drawn from `decision_rng(decision_seed, account, day)`, so planning
+    /// can be sharded across worker threads without perturbing any stream
+    /// (DESIGN.md §4).
+    decision_seed: u64,
     out_of_stock: bool,
     out_of_stock_on: Option<Day>,
     migrations: u32,
@@ -179,6 +206,10 @@ impl CollusionService {
         assert!(active_asns >= 1 && active_asns <= asn_rotation.len());
         let like_controller = VolumeController::new(config.adapt_likes);
         let follow_controller = VolumeController::new(config.adapt_follows);
+        let mut rng = rng;
+        // First draw of the service stream seeds the per-member decision
+        // streams (same derivation chain as the reciprocity engine).
+        let decision_seed = rng.gen::<u64>();
         Self {
             config,
             customers: CustomerBook::new(),
@@ -194,6 +225,7 @@ impl CollusionService {
             failure_streak: [0; 2],
             heavy_throttle_days: 0,
             rng,
+            decision_seed,
             out_of_stock: false,
             out_of_stock_on: None,
             migrations: 0,
@@ -507,6 +539,87 @@ impl CollusionService {
         }
     }
 
+    /// Decide one member's day: every stochastic choice (logins, posting,
+    /// free-tier request counts, ad impressions, purchase rolls) drawn from
+    /// the member's own `(decision_seed, account, day)` stream. Reads shared
+    /// service state, mutates nothing — safe to run on worker threads.
+    fn plan_member(&self, day: Day, account: AccountId, honeypot: bool) -> MemberPlan {
+        let mut rng = decision_rng(self.decision_seed, u64::from(account.0), u64::from(day.0));
+        let role = self.roles.get(&account).copied().unwrap_or_default();
+        let login = rng.gen::<f64>() < 0.7;
+        // Organic posting; monthly tiers deliver on each new photo.
+        let fresh_photo = rng.gen::<f64>() < self.config.photos_per_day;
+        // Receive-only (no-outbound) customers paid precisely because they
+        // want the inbound actions: they request several times more often
+        // than casual free users.
+        let engagement = if role.no_outbound { 3.0 } else { 1.0 };
+        let like_rate = if honeypot {
+            self.config.honeypot_free_requests_per_day
+        } else {
+            engagement * self.config.free_like_requests_per_day
+        };
+        // The 30-minute cooldown (§3.3.2) bounds how many free requests a
+        // day can possibly hold, however eager the customer.
+        let max_requests =
+            (footsteps_sim::time::SECS_PER_DAY / self.config.catalog.free_cooldown_secs.max(1))
+                as u32;
+        let (ads_lo, ads_hi) = self.config.catalog.ads_per_free_request;
+        let like_requests = sample_poisson(&mut rng, like_rate).min(max_requests);
+        let like_ads_each = if like_requests > 0
+            && self.config.catalog.free_likes_per_request > 0
+            && ads_hi > 0
+        {
+            rng.gen_range(ads_lo..=ads_hi)
+        } else {
+            0
+        };
+        let follow_rate = if honeypot {
+            self.config.honeypot_free_requests_per_day
+        } else {
+            engagement * self.config.free_follow_requests_per_day
+        };
+        let follow_requests = sample_poisson(&mut rng, follow_rate).min(max_requests);
+        let follow_ads_each = if follow_requests > 0
+            && self.config.catalog.free_follows_per_request > 0
+            && ads_hi > 0
+        {
+            rng.gen_range(ads_lo..=ads_hi)
+        } else {
+            0
+        };
+        let comment_requests =
+            sample_poisson(&mut rng, self.config.free_comment_requests_per_day);
+        let monthly_qty = match role.monthly_tier {
+            Some(tier) if fresh_photo => {
+                let t = self.config.catalog.monthly[tier];
+                rng.gen_range(t.min_likes..=t.max_likes)
+            }
+            _ => 0,
+        };
+        let package = if !honeypot
+            && !self.out_of_stock
+            && self.config.package_purchase_prob > 0.0
+            && !self.config.followersgratis_packages.is_empty()
+            && rng.gen::<f64>() < self.config.package_purchase_prob
+        {
+            Some(rng.gen_range(0..self.config.followersgratis_packages.len()))
+        } else {
+            None
+        };
+        MemberPlan {
+            account,
+            login,
+            fresh_photo,
+            like_requests,
+            like_ads_each,
+            follow_requests,
+            follow_ads_each,
+            comment_requests,
+            monthly_qty,
+            package,
+        }
+    }
+
     /// Deliver one day of inbound actions and generate the matching outbound
     /// participation, returning per-type stats for the controllers.
     fn deliver(
@@ -531,37 +644,32 @@ impl CollusionService {
                 (c.account, c.honeypot, requested)
             })
             .collect();
-        for &(account, honeypot, _requested) in &engaged {
-            if self.rng.gen::<f64>() < 0.7 {
+
+        // Decision phase: plan every engaged member's day in parallel.
+        let plans = crate::engine::plan_parallel(
+            &engaged,
+            platform.config.worker_threads,
+            |&(account, honeypot, _)| self.plan_member(day, account, honeypot),
+        );
+
+        // Apply phase: execute the plans serially, in roster order.
+        for plan in &plans {
+            let account = plan.account;
+            if plan.login {
                 platform.record_login(account);
             }
             let role = self.roles.get(&account).copied().unwrap_or_default();
             let asn = self.asn_for(account);
 
-            // Organic posting; monthly tiers deliver on each new photo.
             let mut fresh_photo = None;
-            if self.rng.gen::<f64>() < self.config.photos_per_day {
+            if plan.fresh_photo {
                 let home = platform.accounts.get(account).home_asn;
                 let ip = platform.asns.ip_in(home, account.0);
                 fresh_photo = Some(platform.post_media(account, home, ip));
             }
 
             // --- free tier -------------------------------------------------
-            // Receive-only (no-outbound) customers paid precisely because
-            // they want the inbound actions: they request several times more
-            // often than casual free users.
-            let engagement = if role.no_outbound { 3.0 } else { 1.0 };
-            let like_rate = if honeypot {
-                self.config.honeypot_free_requests_per_day
-            } else {
-                engagement * self.config.free_like_requests_per_day
-            };
-            // The 30-minute cooldown (§3.3.2) bounds how many free requests
-            // a day can possibly hold, however eager the customer.
-            let max_requests =
-                (footsteps_sim::time::SECS_PER_DAY / self.config.catalog.free_cooldown_secs.max(1))
-                    as u32;
-            let like_requests = sample_poisson(&mut self.rng, like_rate).min(max_requests);
+            let like_requests = plan.like_requests;
             if like_requests > 0 && self.config.catalog.free_likes_per_request > 0 {
                 let requested = like_requests * self.config.catalog.free_likes_per_request;
                 let capped = apply_cap(requested, self.like_cap_for(account));
@@ -579,18 +687,9 @@ impl CollusionService {
                 tally.1 += u64::from(res.blocked);
                 tally.2 += res.visible_success();
                 total_outbound_likes += u64::from(res.attempted);
-                let (lo, hi) = self.config.catalog.ads_per_free_request;
-                if hi > 0 {
-                    ads_today += u64::from(like_requests)
-                        * u64::from(self.rng.gen_range(lo..=hi));
-                }
+                ads_today += u64::from(like_requests) * u64::from(plan.like_ads_each);
             }
-            let follow_rate = if honeypot {
-                self.config.honeypot_free_requests_per_day
-            } else {
-                engagement * self.config.free_follow_requests_per_day
-            };
-            let follow_requests = sample_poisson(&mut self.rng, follow_rate).min(max_requests);
+            let follow_requests = plan.follow_requests;
             if follow_requests > 0 && self.config.catalog.free_follows_per_request > 0 {
                 let requested = follow_requests * self.config.catalog.free_follows_per_request;
                 let capped = apply_cap(requested, self.follow_cap_for(account));
@@ -610,14 +709,9 @@ impl CollusionService {
                 tally.1 += u64::from(res.blocked);
                 tally.2 += res.visible_success();
                 total_outbound_follows += u64::from(res.attempted);
-                let (lo, hi) = self.config.catalog.ads_per_free_request;
-                if hi > 0 {
-                    ads_today += u64::from(follow_requests)
-                        * u64::from(self.rng.gen_range(lo..=hi));
-                }
+                ads_today += u64::from(follow_requests) * u64::from(plan.follow_ads_each);
             }
-            let comment_requests =
-                sample_poisson(&mut self.rng, self.config.free_comment_requests_per_day);
+            let comment_requests = plan.comment_requests;
             if comment_requests > 0 {
                 let n = comment_requests * 5;
                 let media = platform.accounts.latest_media_of(account).map(|m| (m, n));
@@ -626,9 +720,8 @@ impl CollusionService {
             }
 
             // --- paid monthly tier ----------------------------------------
-            if let (Some(tier), Some(photo)) = (role.monthly_tier, fresh_photo) {
-                let t = self.config.catalog.monthly[tier];
-                let qty = self.rng.gen_range(t.min_likes..=t.max_likes);
+            if let (Some(_tier), Some(photo)) = (role.monthly_tier, fresh_photo) {
+                let qty = plan.monthly_qty;
                 let capped = apply_cap(qty, self.like_cap_for(account));
                 let media = Some((photo, self.config.paid_delivery_rate_per_hour.min(capped)));
                 let res =
@@ -644,12 +737,7 @@ impl CollusionService {
             }
 
             // --- Followersgratis packages ----------------------------------
-            if !honeypot
-                && !self.out_of_stock
-                && self.config.package_purchase_prob > 0.0
-                && self.rng.gen::<f64>() < self.config.package_purchase_prob
-            {
-                let pkg_idx = self.rng.gen_range(0..self.config.followersgratis_packages.len());
+            if let Some(pkg_idx) = plan.package {
                 let pkg = self.config.followersgratis_packages[pkg_idx].clone();
                 ledger.record(Payment {
                     day,

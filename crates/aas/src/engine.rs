@@ -1,0 +1,102 @@
+//! The parallel decision phase of the two-phase daily engine.
+//!
+//! Each simulated service-day is split in two (DESIGN.md §4):
+//!
+//! 1. a **decision phase** that computes, for every engaged customer, what
+//!    the service will do today (logins, batch sizes, IP draws, purchase
+//!    rolls). Decisions read shared service state but mutate nothing, and
+//!    every random draw comes from a per-customer stream derived from
+//!    `(scenario seed, service stream label, account id, day)` via
+//!    [`footsteps_sim::rng::decision_rng`]. Because no decision depends on
+//!    processing order, this phase shards freely across worker threads;
+//! 2. a serial **apply phase** that submits the plans to the platform in
+//!    roster order, which is where all the order-sensitive mutation
+//!    (enforcement, reciprocation scheduling, controller feedback) happens.
+//!
+//! [`plan_parallel`] is the decision-phase harness both service engines use:
+//! it fans the roster out over scoped worker threads in contiguous shards
+//! and merges the per-shard plans back **in shard index order**, so the
+//! output is the roster order regardless of which worker finished first —
+//! the property that makes results byte-identical for any thread count.
+
+/// Plan every item of `items`, using up to `threads` scoped worker threads.
+///
+/// `plan` must be a pure function of the item and shared state (it runs
+/// concurrently on borrowed `&items`). The returned plans are in `items`
+/// order for every `threads` value, including 1 (which plans inline without
+/// spawning).
+pub fn plan_parallel<T, P, F>(items: &[T], threads: usize, plan: F) -> Vec<P>
+where
+    T: Sync,
+    P: Send,
+    F: Fn(&T) -> P + Sync,
+{
+    let threads = threads.max(1).min(items.len().max(1));
+    if threads <= 1 {
+        return items.iter().map(&plan).collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    let mut out = Vec::with_capacity(items.len());
+    std::thread::scope(|s| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|shard| {
+                let plan = &plan;
+                s.spawn(move || shard.iter().map(plan).collect::<Vec<P>>())
+            })
+            .collect();
+        // Joining in spawn order is the merge: shard k's plans land at
+        // offset k * chunk no matter when its worker finishes.
+        for h in handles {
+            out.extend(h.join().expect("decision worker panicked"));
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn preserves_item_order_for_any_thread_count() {
+        let items: Vec<u32> = (0..103).collect();
+        let expect: Vec<u64> = items.iter().map(|&x| u64::from(x) * 3 + 1).collect();
+        for threads in [1, 2, 3, 7, 8, 64] {
+            let got = plan_parallel(&items, threads, |&x| u64::from(x) * 3 + 1);
+            assert_eq!(got, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn order_survives_out_of_order_completion() {
+        // Make the first shard the slowest: if merge order followed
+        // completion order, shard 0's plans would come last.
+        let items: Vec<usize> = (0..64).collect();
+        let got = plan_parallel(&items, 8, |&x| {
+            if x < 8 {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            x
+        });
+        assert_eq!(got, items);
+    }
+
+    #[test]
+    fn runs_every_item_exactly_once() {
+        let calls = AtomicUsize::new(0);
+        let items: Vec<u8> = vec![0; 1000];
+        let got = plan_parallel(&items, 8, |_| {
+            calls.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(got.len(), 1000);
+        assert_eq!(calls.load(Ordering::Relaxed), 1000);
+    }
+
+    #[test]
+    fn empty_roster_is_fine() {
+        let got: Vec<u8> = plan_parallel(&[] as &[u8], 8, |&x| x);
+        assert!(got.is_empty());
+    }
+}

@@ -26,6 +26,7 @@ pub mod adapt;
 pub mod catalog;
 pub mod collusion;
 pub mod customer;
+pub mod engine;
 pub mod ledger;
 pub mod presets;
 pub mod reciprocity;
@@ -35,6 +36,7 @@ pub use adapt::{AdaptationConfig, ControllerAction, DayObservation, VolumeContro
 pub use catalog::{fmt_dollars, Cents};
 pub use collusion::{CollusionConfig, CollusionService, PayerProfile, ADS_ACCOUNT};
 pub use customer::{Customer, CustomerBook, LifecycleParams, PayState};
+pub use engine::plan_parallel;
 pub use ledger::{Payment, PaymentKind, PaymentLedger};
 pub use reciprocity::{DailyVolumes, ReciprocityConfig, ReciprocityService};
 pub use targeting::{median_degrees, TargetingBias, TargetPool};

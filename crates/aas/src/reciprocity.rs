@@ -89,6 +89,31 @@ struct DayStats {
     success_per_account: Vec<u32>,
 }
 
+/// One planned action batch of a customer-day (decision phase output).
+#[derive(Debug, Clone, Copy)]
+struct PlannedBatch {
+    ty: ActionType,
+    count: u32,
+    /// Raw draw the apply phase turns into a source IP inside the ASN that
+    /// carries `ty` at submission time.
+    ip_key: u32,
+}
+
+/// Everything the decision phase resolved for one engaged customer-day.
+/// The apply phase replays this against the platform in roster order.
+#[derive(Debug, Clone)]
+struct CustomerPlan {
+    account: AccountId,
+    honeypot: bool,
+    login_home: bool,
+    login_service: bool,
+    batches: Vec<PlannedBatch>,
+    /// The customer's decision stream, carried into the apply phase:
+    /// honeypot event volumes depend on submission outcomes, so their draws
+    /// continue from here.
+    rng: SmallRng,
+}
+
 /// A running reciprocity-abuse service.
 pub struct ReciprocityService {
     config: ReciprocityConfig,
@@ -120,6 +145,11 @@ pub struct ReciprocityService {
     /// to different ASNs", §6.4).
     heavy_throttle_days: [u32; ActionType::COUNT],
     rng: SmallRng,
+    /// Seed of the per-customer decision streams: every customer-day plan is
+    /// drawn from `decision_rng(decision_seed, account, day)`, so planning
+    /// can be sharded across worker threads without perturbing any stream
+    /// (DESIGN.md §4).
+    decision_seed: u64,
     /// Days since follow traffic last saw a visible failure while away from
     /// the primary ASN (drives `follows_return_home`).
     follow_quiet_days: u32,
@@ -145,6 +175,11 @@ impl ReciprocityService {
     ) -> Self {
         assert!(!asn_rotation.is_empty(), "need at least a primary ASN");
         let mut rng = rng;
+        // First draw of the service stream: the seed all per-customer
+        // decision streams derive from. Keeping it a function of the
+        // service's labelled stream keeps the whole chain a pure function of
+        // (scenario seed, stream label, account id, day).
+        let decision_seed = rng.gen::<u64>();
         let pool = TargetPool::curate(
             accounts,
             population,
@@ -165,6 +200,7 @@ impl ReciprocityService {
             capability: [false; ActionType::COUNT],
             heavy_throttle_days: [0; ActionType::COUNT],
             rng,
+            decision_seed,
             follow_quiet_days: 0,
             migrations: 0,
             accepting_payments: true,
@@ -445,34 +481,28 @@ impl ReciprocityService {
         }
     }
 
-    fn drive_activity(&mut self, platform: &mut Platform, day: Day) -> [DayStats; 5] {
-        let mut stats: [DayStats; 5] = Default::default();
-        let pool_stats = self.pool.stats();
-        let fingerprint = ClientFingerprint::SpoofedMobile {
-            variant: self.config.fingerprint_variant,
-        };
-        let offer = offerings(self.config.service);
-        let engaged: Vec<(AccountId, f64, bool, Vec<ActionType>)> = self
-            .customers
-            .engaged_on(day)
-            .map(|c| (c.account, c.volume_multiplier, c.honeypot, c.requested.clone()))
-            .collect();
-        for (account, mult, honeypot, requested) in engaged {
-            // Customers log in from home most days; the service logs in from
-            // its own network only rarely.
-            if self.rng.gen::<f64>() < 0.8 {
-                platform.record_login(account);
-            }
-            if self.rng.gen::<f64>() < self.config.service_login_prob {
-                let asn = self.current_asn(ActionType::Follow);
-                platform.record_login_via(account, asn);
-            }
+    /// Decide one customer's day. Pure with respect to service and platform
+    /// state: reads shared state, mutates nothing, and draws only from the
+    /// customer's own `(decision_seed, account, day)` stream — the contract
+    /// that lets [`crate::engine::plan_parallel`] shard this across threads.
+    fn plan_customer(
+        &self,
+        day: Day,
+        offer: crate::catalog::Offerings,
+        account: AccountId,
+        mult: f64,
+        honeypot: bool,
+        requested: &[ActionType],
+    ) -> CustomerPlan {
+        let mut rng = decision_rng(self.decision_seed, u64::from(account.0), u64::from(day.0));
+        // Customers log in from home most days; the service logs in from
+        // its own network only rarely.
+        let login_home = rng.gen::<f64>() < 0.8;
+        let login_service = rng.gen::<f64>() < self.config.service_login_prob;
+        let mut batches = Vec::new();
+        if !honeypot {
             for ty in ActionType::ALL {
                 if !offer.offers(ty) || !requested.contains(&ty) {
-                    continue;
-                }
-                if honeypot {
-                    self.drive_honeypot_events(platform, account, ty, &mut stats);
                     continue;
                 }
                 let base = self.config.volumes.of(ty) * mult;
@@ -485,32 +515,93 @@ impl ReciprocityService {
                 };
                 // Small day-to-day jitter so per-account series look organic
                 // rather than perfectly flat.
-                let jitter = 0.9 + 0.2 * self.rng.gen::<f64>();
+                let jitter = 0.9 + 0.2 * rng.gen::<f64>();
                 let count = (capped * jitter).round().max(0.0) as u32;
                 if count == 0 {
                     continue;
                 }
-                let asn = self.current_asn(ty);
-                let ip = platform.asns.ip_in(asn, self.rng.gen::<u32>());
-                let pool = match ty {
+                let ip_key = rng.gen::<u32>();
+                batches.push(PlannedBatch { ty, count, ip_key });
+            }
+        }
+        CustomerPlan {
+            account,
+            honeypot,
+            login_home,
+            login_service,
+            batches,
+            rng,
+        }
+    }
+
+    fn drive_activity(&mut self, platform: &mut Platform, day: Day) -> [DayStats; 5] {
+        let mut stats: [DayStats; 5] = Default::default();
+        let pool_stats = self.pool.stats();
+        let fingerprint = ClientFingerprint::SpoofedMobile {
+            variant: self.config.fingerprint_variant,
+        };
+        let offer = offerings(self.config.service);
+        let engaged: Vec<(AccountId, f64, bool, Vec<ActionType>)> = self
+            .customers
+            .engaged_on(day)
+            .map(|c| (c.account, c.volume_multiplier, c.honeypot, c.requested.clone()))
+            .collect();
+
+        // Decision phase: plan every engaged customer's day in parallel.
+        let threads = platform.config.worker_threads;
+        let mut plans = crate::engine::plan_parallel(
+            &engaged,
+            threads,
+            |&(account, mult, honeypot, ref requested)| {
+                self.plan_customer(day, offer, account, mult, honeypot, requested)
+            },
+        );
+
+        // Apply phase: submit the plans serially, in roster order. All
+        // platform mutation and controller feedback happens here.
+        for (plan, (_, _, _, requested)) in plans.iter_mut().zip(&engaged) {
+            if plan.login_home {
+                platform.record_login(plan.account);
+            }
+            if plan.login_service {
+                let asn = self.current_asn(ActionType::Follow);
+                platform.record_login_via(plan.account, asn);
+            }
+            if plan.honeypot {
+                // Honeypot event volumes depend on batch outcomes, so they
+                // run in the apply phase — continuing the customer's own
+                // decision stream carried over from the plan.
+                for ty in ActionType::ALL {
+                    if !offer.offers(ty) || !requested.contains(&ty) {
+                        continue;
+                    }
+                    let (account, rng) = (plan.account, &mut plan.rng);
+                    self.drive_honeypot_events(platform, account, ty, rng, &mut stats);
+                }
+                continue;
+            }
+            for b in &plan.batches {
+                let asn = self.current_asn(b.ty);
+                let ip = platform.asns.ip_in(asn, b.ip_key);
+                let pool = match b.ty {
                     ActionType::Like | ActionType::Follow => pool_stats,
                     _ => PoolStats::INERT,
                 };
                 let result = platform.submit_batch(BatchRequest {
-                    actor: account,
-                    action: ty,
-                    count,
+                    actor: plan.account,
+                    action: b.ty,
+                    count: b.count,
                     asn,
                     ip,
                     fingerprint,
                     pool,
                     service: Some(self.config.service),
                 });
-                let s = &mut stats[ty.index()];
+                let s = &mut stats[b.ty.index()];
                 s.attempted += u64::from(result.attempted);
                 s.visible_failed += u64::from(result.visible_failure());
                 s.success_per_account.push(result.visible_success());
-                self.observe_customer(account, ty, day, &result);
+                self.observe_customer(plan.account, b.ty, day, &result);
             }
         }
         stats
@@ -558,6 +649,7 @@ impl ReciprocityService {
         platform: &mut Platform,
         account: AccountId,
         ty: ActionType,
+        rng: &mut SmallRng,
         stats: &mut [DayStats; 5],
     ) {
         let mut n = self.config.honeypot_daily_actions as usize;
@@ -575,16 +667,16 @@ impl ReciprocityService {
                 // Posting services upload a handful of scheduled posts/day
                 // through their own automation stack.
                 for _ in 0..3 {
-                    let ip = platform.asns.ip_in(asn, self.rng.gen::<u32>());
+                    let ip = platform.asns.ip_in(asn, rng.gen::<u32>());
                     platform.post_media_via(account, asn, ip, fingerprint, Some(self.config.service));
                     success += 1;
                 }
             }
             ActionType::Unfollow => {
                 // Unfollow service: follow-then-shed pairs against the pool.
-                let targets = self.pool.sample_distinct(n, &mut self.rng);
+                let targets = self.pool.sample_distinct(n, rng);
                 for t in targets {
-                    let ip = platform.asns.ip_in(asn, self.rng.gen::<u32>());
+                    let ip = platform.asns.ip_in(asn, rng.gen::<u32>());
                     let f = platform.submit_event(EventRequest {
                         actor: account,
                         action: ActionType::Follow,
@@ -611,9 +703,9 @@ impl ReciprocityService {
                 }
             }
             _ => {
-                let targets = self.pool.sample_distinct(n, &mut self.rng);
+                let targets = self.pool.sample_distinct(n, rng);
                 for t in targets {
-                    let ip = platform.asns.ip_in(asn, self.rng.gen::<u32>());
+                    let ip = platform.asns.ip_in(asn, rng.gen::<u32>());
                     let outcome = platform.submit_event(EventRequest {
                         actor: account,
                         action: ty,
@@ -815,15 +907,14 @@ mod tests {
         let asn = svc.current_asn(ActionType::Like);
         let day0 = platform.log.day(Day(0)).expect("activity logged");
         let active: Vec<_> = day0
-            .outbound
-            .keys()
-            .filter(|k| k.asn == asn)
+            .outbound()
+            .filter(|(k, _)| k.asn == asn)
             .collect();
         assert!(!active.is_empty(), "customer traffic from the service ASN");
         // Mix sanity: likes dominate Boostgram traffic (Table 11).
         let mut like = 0u64;
         let mut follow = 0u64;
-        for (_, c) in day0.outbound.iter().filter(|(k, _)| k.asn == asn) {
+        for (_, c) in day0.outbound().filter(|(k, _)| k.asn == asn) {
             like += u64::from(c.attempted_of(ActionType::Like));
             follow += u64::from(c.attempted_of(ActionType::Follow));
         }

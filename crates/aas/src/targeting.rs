@@ -126,7 +126,10 @@ impl TargetPool {
         if n >= self.members.len() {
             return self.members.clone();
         }
-        // Floyd's algorithm over indices.
+        // Floyd's algorithm over indices. The set exists only for the
+        // distinctness check; emit targets in pool order so the caller's
+        // submission order (and with it every downstream platform RNG draw)
+        // is independent of the set's per-instance hash state.
         let mut chosen = std::collections::HashSet::with_capacity(n);
         let len = self.members.len();
         for j in (len - n)..len {
@@ -135,7 +138,9 @@ impl TargetPool {
                 chosen.insert(j);
             }
         }
-        chosen.into_iter().map(|i| self.members[i]).collect()
+        let mut idx: Vec<usize> = chosen.into_iter().collect();
+        idx.sort_unstable();
+        idx.into_iter().map(|i| self.members[i]).collect()
     }
 }
 

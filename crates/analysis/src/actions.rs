@@ -41,7 +41,7 @@ pub fn action_mix(
         .collect();
     let mut counts = [0u64; ActionType::COUNT];
     for (_, log) in platform.log.iter_range(start, end) {
-        for (key, c) in &log.outbound {
+        for (key, c) in log.outbound() {
             if sigs
                 .iter()
                 .any(|s| s.matches_outbound(key.asn, key.fingerprint))

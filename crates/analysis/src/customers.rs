@@ -96,7 +96,7 @@ pub fn long_term_action_share(
     let mut lt_actions = 0u64;
     let mut total = 0u64;
     for (_, log) in platform.log.iter_range(start, end) {
-        for (key, counts) in &log.outbound {
+        for (key, counts) in log.outbound() {
             if !asns.contains(&key.asn) || !customers.contains(&key.account) {
                 continue;
             }
@@ -108,7 +108,7 @@ pub fn long_term_action_share(
         }
         // Collusion groups are measured on the inbound side as well, since
         // receive-only customers otherwise contribute nothing.
-        for ((account, source), counts) in &log.inbound {
+        for ((account, source), counts) in log.inbound() {
             let Some(asn) = source else { continue };
             if !asns.contains(asn) || !customers.contains(account) {
                 continue;

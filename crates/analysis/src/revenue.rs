@@ -174,13 +174,13 @@ pub fn hublaagram_revenue_windows(
     // Per-account per-photo-day like stats.
     let mut photo_day_likes: HashMap<AccountId, Vec<(u32, u32)>> = HashMap::new(); // (total, max_hourly)
     for (_, log) in platform.log.iter_range(start, end) {
-        for (key, counts) in &log.outbound {
+        for (key, counts) in log.outbound() {
             if customers.contains(&key.account) && service_asns.contains(&key.asn) {
                 *outbound_total.entry(key.account).or_insert(0) +=
                     u64::from(counts.total_attempted());
             }
         }
-        for ((account, source), counts) in &log.inbound {
+        for ((account, source), counts) in log.inbound() {
             let Some(asn) = source else { continue };
             if customers.contains(account) && service_asns.contains(asn) {
                 *inbound_like_total.entry(*account).or_insert(0) +=
@@ -204,7 +204,7 @@ pub fn hublaagram_revenue_windows(
     let mut period_inbound: HashSet<AccountId> = HashSet::new();
     let mut period_outbound: HashSet<AccountId> = HashSet::new();
     for (_, log) in platform.log.iter_range(period_start, period_end) {
-        for (key, counts) in &log.outbound {
+        for (key, counts) in log.outbound() {
             if customers.contains(&key.account)
                 && service_asns.contains(&key.asn)
                 && counts.total_attempted() > 0
@@ -212,7 +212,7 @@ pub fn hublaagram_revenue_windows(
                 period_outbound.insert(key.account);
             }
         }
-        for ((account, source), counts) in &log.inbound {
+        for ((account, source), counts) in log.inbound() {
             let Some(asn) = source else { continue };
             if customers.contains(account)
                 && service_asns.contains(asn)

@@ -27,7 +27,7 @@ fn daily_counts(
     let mut abusive = Vec::new();
     for (_, log) in platform.log.iter_range(start, end) {
         let mut per: HashMap<AccountId, (u32, bool)> = HashMap::new();
-        for (key, counts) in &log.outbound {
+        for (key, counts) in log.outbound() {
             if key.asn != asn {
                 continue;
             }

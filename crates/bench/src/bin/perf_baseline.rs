@@ -1,0 +1,52 @@
+//! End-to-end engine throughput baseline.
+//!
+//! Runs the `smoke` scenario to completion, times the whole study, and
+//! writes `BENCH_daily_engine.json` with wall time, days/sec, actions/sec,
+//! and the worker thread count, so engine changes can be compared against a
+//! committed number.
+//!
+//! Usage: `perf_baseline [seed] [output-path]`
+
+use std::time::Instant;
+
+use footsteps_core::{Scenario, Study};
+use footsteps_sim::prelude::*;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let seed: u64 = args
+        .next()
+        .map(|s| s.parse().expect("seed must be an integer"))
+        .unwrap_or(7);
+    let out_path = args
+        .next()
+        .unwrap_or_else(|| "BENCH_daily_engine.json".to_string());
+
+    let scenario = Scenario::smoke(seed);
+    let threads = scenario.worker_threads;
+
+    let build_start = Instant::now();
+    let mut study = Study::new(scenario);
+    let build_secs = build_start.elapsed().as_secs_f64();
+
+    let run_start = Instant::now();
+    study.run_to_completion();
+    let run_secs = run_start.elapsed().as_secs_f64();
+
+    let days = u64::from(study.timeline.end.0);
+    let mut actions: u64 = 0;
+    for (_, log) in study.platform.log.iter_range(Day(0), study.timeline.end) {
+        for (_, counts) in log.outbound() {
+            actions += u64::from(counts.total_attempted());
+        }
+    }
+
+    let report = format!(
+        "{{\n  \"bench\": \"daily_engine\",\n  \"scenario\": \"smoke\",\n  \"seed\": {seed},\n  \"threads\": {threads},\n  \"setup_secs\": {build_secs:.3},\n  \"run_secs\": {run_secs:.3},\n  \"days\": {days},\n  \"days_per_sec\": {:.2},\n  \"actions\": {actions},\n  \"actions_per_sec\": {:.0}\n}}\n",
+        days as f64 / run_secs,
+        actions as f64 / run_secs,
+    );
+    std::fs::write(&out_path, &report).expect("write report");
+    print!("{report}");
+    eprintln!("wrote {out_path}");
+}

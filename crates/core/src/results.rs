@@ -506,6 +506,101 @@ pub fn epilogue(study: &Study) -> EpilogueReport {
     }
 }
 
+/// Canonical per-service classification summary: customer lists sorted by
+/// account id, services in declaration order. Unlike the raw
+/// [`footsteps_detect::Classification`] (hash maps, iteration order
+/// unspecified), this serializes byte-identically for identical results.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClassificationSummary {
+    /// The classified service.
+    pub service: ServiceId,
+    /// Attributed customer accounts, ascending.
+    pub customers: Vec<AccountId>,
+}
+
+/// The serializable aggregate of a characterized study's headline results.
+///
+/// This is the reproducibility artifact of the two-phase daily engine
+/// (DESIGN.md §4): for a given scenario seed, [`StudyResults::to_json`] is
+/// byte-identical for every `worker_threads` value, which the determinism
+/// suite asserts with a recorded digest. Every collection inside is either
+/// naturally ordered (vectors built in fixed service/row order) or
+/// explicitly sorted here — no hash-iteration order escapes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StudyResults {
+    /// Scenario seed the study ran with.
+    pub seed: u64,
+    /// Table 5: reciprocation matrix.
+    pub table5: Vec<Table5Row>,
+    /// Table 6: customer bases.
+    pub table6: Vec<CustomerBaseRow>,
+    /// Table 7: service locations.
+    pub table7: Vec<analysis::ServiceLocationRow>,
+    /// Table 8: reciprocity revenue with ground truth.
+    pub table8: Table8,
+    /// Table 9: Hublaagram revenue with ground truth.
+    pub table9: Table9,
+    /// Table 10: intervention eligibility.
+    pub table10: Vec<Table10Row>,
+    /// Table 11: action mix per group.
+    pub table11: Vec<ActionMixRow>,
+    /// Figure 2: customer geography.
+    pub figure2: Vec<CountryDistribution>,
+    /// Figures 3/4: targeting bias.
+    pub figures34: TargetingFigures,
+    /// Per-service attributed customers, canonically sorted.
+    pub classification: Vec<ClassificationSummary>,
+}
+
+impl StudyResults {
+    /// Collect every characterization-phase artifact from `study`.
+    pub fn collect(study: &Study) -> Self {
+        assert!(study.phase >= Phase::Characterized);
+        let class = business_classification(study);
+        let classification = ServiceId::ALL
+            .iter()
+            .map(|&service| {
+                let mut customers: Vec<AccountId> = class.customers_of(service).collect();
+                customers.sort_unstable();
+                ClassificationSummary { service, customers }
+            })
+            .collect();
+        Self {
+            seed: study.scenario.seed,
+            table5: table5(study),
+            table6: table6(study),
+            table7: table7(study),
+            table8: table8(study),
+            table9: table9(study),
+            table10: table10(study),
+            table11: table11(study),
+            figure2: figure2(study),
+            figures34: figures34(study),
+            classification,
+        }
+    }
+
+    /// Serialize to pretty JSON. Byte-identical across runs and worker
+    /// thread counts for the same scenario.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("StudyResults serializes")
+    }
+
+    /// Stable FNV-1a digest of the JSON bytes — the recorded golden value
+    /// the determinism suite checks. Not a cryptographic hash; it only has
+    /// to be stable across platforms and sensitive to any byte change.
+    pub fn digest(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        for b in self.to_json().as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(PRIME);
+        }
+        h
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

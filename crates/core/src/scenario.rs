@@ -42,9 +42,22 @@ pub struct Scenario {
     pub delay_bin: u32,
     /// Control bin (shared by narrow, broad and epilogue phases).
     pub control_bin: u32,
+    /// Worker threads for the parallel decision phase of each simulated
+    /// day. Results are byte-identical for every value (the apply phase is
+    /// serial and per-account RNG streams are position-independent); this
+    /// only trades wall time. Presets read `FOOTSTEPS_THREADS`, default 1.
+    pub worker_threads: usize,
 }
 
 impl Scenario {
+    /// Worker-thread count from the `FOOTSTEPS_THREADS` environment
+    /// variable, clamped to `1..=256`; 1 when unset or unparsable.
+    pub fn threads_from_env() -> usize {
+        std::env::var("FOOTSTEPS_THREADS")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .map_or(1, |n| n.clamp(1, 256))
+    }
     /// The default reproduction scenario: 1/50 linear scale, full paper
     /// timeline. Runs in under a minute on a laptop core; 1/50 keeps each
     /// experiment bin populated enough for stable medians (Figures 5/7).
@@ -66,6 +79,7 @@ impl Scenario {
             block_bin: 0,
             delay_bin: 1,
             control_bin: 2,
+            worker_threads: Self::threads_from_env(),
         }
     }
 
@@ -101,6 +115,7 @@ impl Scenario {
             block_bin: 0,
             delay_bin: 1,
             control_bin: 2,
+            worker_threads: Self::threads_from_env(),
         }
     }
 
@@ -119,6 +134,7 @@ impl Scenario {
             && self.delay_bin != self.control_bin
             && self.block_bin != self.control_bin
             && self.background_blend_actors <= self.background_daily_actors
+            && self.worker_threads >= 1
     }
 }
 

@@ -127,7 +127,10 @@ impl Study {
         let residential = ResidentialIndex::build(&registry);
         let mut platform = Platform::new(
             registry,
-            PlatformConfig::default(),
+            PlatformConfig {
+                worker_threads: scenario.worker_threads,
+                ..PlatformConfig::default()
+            },
             rngs.stream("platform"),
         );
         let mut pop_rng = rngs.stream("population");

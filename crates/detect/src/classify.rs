@@ -124,7 +124,7 @@ pub fn classify(
 ) -> Classification {
     let mut out = Classification::default();
     for (day, log) in platform.log.iter_range(start, end) {
-        for (key, counts) in &log.outbound {
+        for (key, counts) in log.outbound() {
             if counts.total_attempted() == 0 {
                 continue;
             }
@@ -134,7 +134,7 @@ pub fn classify(
                 }
             }
         }
-        for ((account, source), counts) in &log.inbound {
+        for ((account, source), counts) in log.inbound() {
             let Some(asn) = source else { continue };
             if counts.total_attempted() == 0 {
                 continue;

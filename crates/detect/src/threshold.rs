@@ -42,7 +42,7 @@ pub fn asn_traffic_kind(
     let mut abusive = 0u64;
     let mut benign = 0u64;
     for (_, log) in platform.log.iter_range(start, end) {
-        for (key, counts) in &log.outbound {
+        for (key, counts) in log.outbound() {
             if key.asn != asn {
                 continue;
             }
@@ -198,7 +198,7 @@ fn per_account_daily_outbound(
     let mut samples = Vec::new();
     for (_, log) in platform.log.iter_range(start, end) {
         let mut per_account: HashMap<AccountId, u32> = HashMap::new();
-        for (key, counts) in &log.outbound {
+        for (key, counts) in log.outbound() {
             if key.asn == asn {
                 let n = counts.attempted_of(ty);
                 if n > 0 {
@@ -226,7 +226,7 @@ fn per_account_daily_inbound(
 ) -> Vec<u32> {
     let mut samples = Vec::new();
     for (_, log) in platform.log.iter_range(start, end) {
-        for ((_, source), counts) in &log.inbound {
+        for ((_, source), counts) in log.inbound() {
             if *source == Some(asn) {
                 let n = counts.attempted_of(ty);
                 if n > 0 {

@@ -154,7 +154,7 @@ impl HoneypotFramework {
                 !self.celebrities.is_empty(),
                 "call setup_celebrities before creating lived-in accounts"
             );
-            let n = 10 + self.rng.gen_range(0..=10).min(self.celebrities.len() - 1);
+            let n = 10 + self.rng.gen_range(0usize..=10).min(self.celebrities.len() - 1);
             for k in 0..n.min(self.celebrities.len()) {
                 let celeb = self.celebrities[k];
                 platform.submit_event(EventRequest {

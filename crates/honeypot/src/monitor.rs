@@ -116,7 +116,7 @@ pub fn unrequested_action_types(
             let n: u64 = platform
                 .log
                 .iter_range(from, end)
-                .flat_map(|(_, log)| log.outbound.iter())
+                .flat_map(|(_, log)| log.outbound())
                 .filter(|(k, _)| k.account == r.account && k.asn != home)
                 .map(|(_, c)| u64::from(c.attempted_of(ty)))
                 .sum();

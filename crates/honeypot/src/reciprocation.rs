@@ -79,7 +79,7 @@ pub fn measure(
                     // Outbound: the service's delivered+deferred actions of
                     // the requested type. Inbound: everything that landed.
                     for (_, log) in platform.log.iter_range(start, end) {
-                        for (k, counts) in log.outbound.iter() {
+                        for (k, counts) in log.outbound() {
                             if k.account == r.account {
                                 cell.outbound += u64::from(counts.visible_success_of(outbound));
                             }
@@ -134,8 +134,8 @@ mod tests {
         let host_ix = reg.register("ix-host", Country::Us, AsnKind::Hosting, 10_000);
         let residential = ResidentialIndex::build(&reg);
         let mut platform =
-            Platform::new(reg, PlatformConfig::default(), SmallRng::seed_from_u64(30));
-        let mut rng = SmallRng::seed_from_u64(31);
+            Platform::new(reg, PlatformConfig::default(), SmallRng::seed_from_u64(230));
+        let mut rng = SmallRng::seed_from_u64(231);
         let pop = synthesize(
             &mut platform.accounts,
             &residential,
@@ -152,7 +152,7 @@ mod tests {
                 &platform.accounts,
                 &pop,
                 vec![host_bg],
-                SmallRng::seed_from_u64(32),
+                SmallRng::seed_from_u64(232),
             )
         };
         let mut instalex = {
@@ -165,10 +165,10 @@ mod tests {
                 &platform.accounts,
                 &pop,
                 vec![host_ix],
-                SmallRng::seed_from_u64(33),
+                SmallRng::seed_from_u64(233),
             )
         };
-        let mut framework = HoneypotFramework::new(AsnId(0), SmallRng::seed_from_u64(34));
+        let mut framework = HoneypotFramework::new(AsnId(0), SmallRng::seed_from_u64(234));
         let mut ledger = PaymentLedger::new();
         platform.begin_day(Day(0));
         framework.setup_celebrities(&mut platform, 20);

@@ -55,7 +55,7 @@ fn daily_counts(
     let mut per_account: HashMap<AccountId, u32> = HashMap::new();
     match direction {
         Direction::Outbound => {
-            for (key, counts) in &day_log.outbound {
+            for (key, counts) in day_log.outbound() {
                 if accounts.contains(&key.account) && asns.contains(&key.asn) {
                     let n = counts.attempted_of(ty);
                     if n > 0 {
@@ -65,7 +65,7 @@ fn daily_counts(
             }
         }
         Direction::Inbound => {
-            for ((account, source), counts) in &day_log.inbound {
+            for ((account, source), counts) in day_log.inbound() {
                 let Some(asn) = source else { continue };
                 if accounts.contains(account) && asns.contains(asn) {
                     let n = counts.attempted_of(ty);

@@ -150,23 +150,21 @@ mod tests {
         run_background_day(&mut platform, &pop, &cfg, &mut rng);
         let day = platform.log.day(Day(0)).expect("traffic recorded");
         let blend_actors: std::collections::HashSet<_> = day
-            .outbound
-            .keys()
-            .filter(|k| k.asn == mixed)
-            .map(|k| k.account)
+            .outbound()
+            .filter(|(k, _)| k.asn == mixed)
+            .map(|(k, _)| k.account)
             .collect();
         assert!(
             (30..=40).contains(&blend_actors.len()),
             "~40 actors on the blend ASN, got {}",
             blend_actors.len()
         );
-        let home_records = day.outbound.keys().filter(|k| k.asn != mixed).count();
+        let home_records = day.outbound().filter(|(k, _)| k.asn != mixed).count();
         assert!(home_records > 200, "most actors act from home");
         // All background traffic is official-app.
         assert!(day
-            .outbound
-            .keys()
-            .all(|k| k.fingerprint == ClientFingerprint::OfficialApp));
+            .outbound()
+            .all(|(k, _)| k.fingerprint == ClientFingerprint::OfficialApp));
     }
 
     #[test]
@@ -181,9 +179,8 @@ mod tests {
         run_background_day(&mut platform, &pop, &cfg, &mut rng);
         let day = platform.log.day(Day(0)).unwrap();
         let mut likes: Vec<u32> = day
-            .outbound
-            .values()
-            .map(|c| c.attempted_of(ActionType::Like))
+            .outbound()
+            .map(|(_, c)| c.attempted_of(ActionType::Like))
             .filter(|&n| n > 0)
             .collect();
         likes.sort_unstable();
@@ -205,7 +202,7 @@ mod tests {
             &mut rng,
         );
         let day = platform.log.day(Day(0)).unwrap();
-        for k in day.outbound.keys() {
+        for (k, _) in day.outbound() {
             assert!(!platform.is_ground_truth_abusive(k.account));
         }
     }

@@ -9,7 +9,12 @@
 //!
 //! The graph therefore stores:
 //! * degree counters on every account (owned by [`crate::account::Account`]);
-//! * exact follower/following sets for accounts explicitly marked *tracked*.
+//! * exact follower/following lists for accounts explicitly marked *tracked*.
+//!
+//! Tracked membership is a dense `Vec<u32>` slot map indexed by account id,
+//! and each tracked account's edges are sorted `Vec<AccountId>` lists, so
+//! the per-action path (dup check, insert, remove) is hash-free and
+//! iteration order is deterministic by construction.
 //!
 //! This is the scalability design documented in DESIGN.md; it mirrors how
 //! production measurement systems aggregate.
@@ -17,7 +22,9 @@
 use crate::account::AccountStore;
 use crate::ids::AccountId;
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, HashSet};
+
+/// Sentinel slot for untracked accounts.
+const NONE: u32 = u32::MAX;
 
 /// Outcome of attempting to add a follow edge.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,12 +42,12 @@ pub enum FollowResult {
 /// The follow graph with tracked-edge refinement.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct SocialGraph {
-    /// Accounts whose exact edges are maintained.
-    tracked: HashSet<AccountId>,
-    /// Exact follower sets (who follows the key) for tracked accounts.
-    followers_of: HashMap<AccountId, HashSet<AccountId>>,
-    /// Exact following sets (whom the key follows) for tracked accounts.
-    following_of: HashMap<AccountId, HashSet<AccountId>>,
+    /// Account id → tracked slot; `NONE` marks untracked accounts.
+    tracked_slot: Vec<u32>,
+    /// Slot-indexed sorted follower lists (who follows the slot's account).
+    followers: Vec<Vec<AccountId>>,
+    /// Slot-indexed sorted following lists (whom the slot's account follows).
+    following: Vec<Vec<AccountId>>,
 }
 
 impl SocialGraph {
@@ -49,22 +56,35 @@ impl SocialGraph {
         Self::default()
     }
 
+    fn slot_of(&self, id: AccountId) -> Option<usize> {
+        match self.tracked_slot.get(id.index()).copied() {
+            Some(s) if s != NONE => Some(s as usize),
+            _ => None,
+        }
+    }
+
     /// Mark an account as tracked, so its exact edges are maintained from
     /// now on. (Pre-existing untracked edges are not reconstructed; track
     /// accounts at creation time.)
     pub fn track(&mut self, id: AccountId) {
-        self.tracked.insert(id);
-        self.followers_of.entry(id).or_default();
-        self.following_of.entry(id).or_default();
+        if id.index() >= self.tracked_slot.len() {
+            self.tracked_slot.resize(id.index() + 1, NONE);
+        }
+        if self.tracked_slot[id.index()] == NONE {
+            self.tracked_slot[id.index()] = u32::try_from(self.followers.len())
+                .expect("tracked-account count fits in u32");
+            self.followers.push(Vec::new());
+            self.following.push(Vec::new());
+        }
     }
 
     /// Whether an account's exact edges are maintained.
     pub fn is_tracked(&self, id: AccountId) -> bool {
-        self.tracked.contains(&id)
+        self.slot_of(id).is_some()
     }
 
     /// Add a follow edge `from -> to`, updating degree counters and (for
-    /// tracked endpoints) exact sets.
+    /// tracked endpoints) exact lists.
     pub fn follow(
         &mut self,
         accounts: &mut AccountStore,
@@ -74,23 +94,26 @@ impl SocialGraph {
         if from == to {
             return FollowResult::SelfFollow;
         }
-        let from_tracked = self.is_tracked(from);
-        let to_tracked = self.is_tracked(to);
-        if from_tracked || to_tracked {
-            // Check duplicates on whichever exact set we have.
-            let dup = if from_tracked {
-                self.following_of.get(&from).is_some_and(|s| s.contains(&to))
+        let from_slot = self.slot_of(from);
+        let to_slot = self.slot_of(to);
+        if from_slot.is_some() || to_slot.is_some() {
+            // Check duplicates on whichever exact list we have.
+            let dup = if let Some(s) = from_slot {
+                self.following[s].binary_search(&to).is_ok()
             } else {
-                self.followers_of.get(&to).is_some_and(|s| s.contains(&from))
+                // to_slot is Some here.
+                self.followers[to_slot.unwrap()].binary_search(&from).is_ok()
             };
             if dup {
                 return FollowResult::AlreadyFollowing;
             }
-            if from_tracked {
-                self.following_of.entry(from).or_default().insert(to);
+            if let Some(s) = from_slot {
+                let pos = self.following[s].binary_search(&to).unwrap_err();
+                self.following[s].insert(pos, to);
             }
-            if to_tracked {
-                self.followers_of.entry(to).or_default().insert(from);
+            if let Some(s) = to_slot {
+                let pos = self.followers[s].binary_search(&from).unwrap_err();
+                self.followers[s].insert(pos, from);
             }
         }
         accounts.get_mut(from).following += 1;
@@ -110,25 +133,28 @@ impl SocialGraph {
         if from == to {
             return false;
         }
-        let from_tracked = self.is_tracked(from);
-        let to_tracked = self.is_tracked(to);
-        if from_tracked || to_tracked {
-            let existed_from = if from_tracked {
-                self.following_of
-                    .get_mut(&from)
-                    .is_some_and(|s| s.remove(&to))
-            } else {
-                false
-            };
-            let existed_to = if to_tracked {
-                self.followers_of
-                    .get_mut(&to)
-                    .is_some_and(|s| s.remove(&from))
-            } else {
-                false
-            };
-            let existed = existed_from || existed_to;
-            if !existed {
+        let from_slot = self.slot_of(from);
+        let to_slot = self.slot_of(to);
+        if from_slot.is_some() || to_slot.is_some() {
+            let existed_from = from_slot.is_some_and(|s| {
+                match self.following[s].binary_search(&to) {
+                    Ok(pos) => {
+                        self.following[s].remove(pos);
+                        true
+                    }
+                    Err(_) => false,
+                }
+            });
+            let existed_to = to_slot.is_some_and(|s| {
+                match self.followers[s].binary_search(&from) {
+                    Ok(pos) => {
+                        self.followers[s].remove(pos);
+                        true
+                    }
+                    Err(_) => false,
+                }
+            });
+            if !existed_from && !existed_to {
                 return false;
             }
         }
@@ -139,46 +165,59 @@ impl SocialGraph {
         true
     }
 
-    /// Exact follower set of a tracked account.
+    /// Exact follower list of a tracked account, sorted by id.
     ///
     /// # Panics
     /// Panics if the account is not tracked — callers must not confuse the
     /// approximate and exact worlds.
-    pub fn followers_of(&self, id: AccountId) -> &HashSet<AccountId> {
-        self.followers_of
-            .get(&id)
-            .unwrap_or_else(|| panic!("{id} is not tracked"))
+    pub fn followers_of(&self, id: AccountId) -> &[AccountId] {
+        let slot = self
+            .slot_of(id)
+            .unwrap_or_else(|| panic!("{id} is not tracked"));
+        &self.followers[slot]
     }
 
-    /// Exact following set of a tracked account.
+    /// Exact following list of a tracked account, sorted by id.
     ///
     /// # Panics
     /// Panics if the account is not tracked.
-    pub fn following_of(&self, id: AccountId) -> &HashSet<AccountId> {
-        self.following_of
-            .get(&id)
-            .unwrap_or_else(|| panic!("{id} is not tracked"))
+    pub fn following_of(&self, id: AccountId) -> &[AccountId] {
+        let slot = self
+            .slot_of(id)
+            .unwrap_or_else(|| panic!("{id} is not tracked"));
+        &self.following[slot]
     }
 
     /// Drop all edges touching a tracked account (used when a honeypot is
     /// deleted: "all actions to or from the account are eventually removed",
     /// §4.1.1). Degree counters of the counterparties are restored.
     pub fn purge_account(&mut self, accounts: &mut AccountStore, id: AccountId) {
-        let followers: Vec<AccountId> = self
-            .followers_of
-            .get(&id)
-            .map(|s| s.iter().copied().collect())
-            .unwrap_or_default();
+        let Some(slot) = self.slot_of(id) else { return };
+        let followers = std::mem::take(&mut self.followers[slot]);
         for f in followers {
-            self.unfollow(accounts, f, id);
+            // The victim's own list was already taken; fix up the
+            // counterparty's list and both degree counters directly.
+            if let Some(fs) = self.slot_of(f) {
+                if let Ok(pos) = self.following[fs].binary_search(&id) {
+                    self.following[fs].remove(pos);
+                }
+            }
+            let a = accounts.get_mut(f);
+            a.following = a.following.saturating_sub(1);
+            let v = accounts.get_mut(id);
+            v.followers = v.followers.saturating_sub(1);
         }
-        let following: Vec<AccountId> = self
-            .following_of
-            .get(&id)
-            .map(|s| s.iter().copied().collect())
-            .unwrap_or_default();
+        let following = std::mem::take(&mut self.following[slot]);
         for t in following {
-            self.unfollow(accounts, id, t);
+            if let Some(ts) = self.slot_of(t) {
+                if let Ok(pos) = self.followers[ts].binary_search(&id) {
+                    self.followers[ts].remove(pos);
+                }
+            }
+            let a = accounts.get_mut(t);
+            a.followers = a.followers.saturating_sub(1);
+            let v = accounts.get_mut(id);
+            v.following = v.following.saturating_sub(1);
         }
     }
 }
@@ -292,6 +331,30 @@ mod tests {
         assert_eq!(accounts.get(AccountId(3)).followers, 0);
         assert!(g.followers_of(hp).is_empty());
         assert!(g.following_of(hp).is_empty());
+    }
+
+    #[test]
+    fn adjacency_lists_stay_sorted() {
+        let mut accounts = store_with(6);
+        let mut g = SocialGraph::new();
+        let hp = AccountId(2);
+        g.track(hp);
+        for from in [5u32, 1, 4, 0, 3] {
+            g.follow(&mut accounts, AccountId(from), hp);
+        }
+        let followers = g.followers_of(hp);
+        assert!(followers.windows(2).all(|w| w[0] < w[1]), "{followers:?}");
+        assert_eq!(followers.len(), 5);
+    }
+
+    #[test]
+    fn tracking_twice_is_idempotent() {
+        let mut accounts = store_with(2);
+        let mut g = SocialGraph::new();
+        g.track(AccountId(1));
+        g.follow(&mut accounts, AccountId(0), AccountId(1));
+        g.track(AccountId(1));
+        assert_eq!(g.followers_of(AccountId(1)).len(), 1, "edges survive re-track");
     }
 
     #[test]

@@ -9,20 +9,35 @@
 //! Per the two-speed design, bulk activity is stored as **daily aggregates**
 //! and full [`ActionEvent`]s are retained only for accounts registered as
 //! *event-tracked*.
+//!
+//! ## Storage layout
+//!
+//! Aggregates live in flat record vectors, not hash maps. The day currently
+//! being written (the *open* day) carries a transient per-account chain
+//! index — `heads[account] → first record, next[record] → same-account
+//! record` — so the per-action path (upsert + the countermeasures'
+//! `prior_today` lookup) walks a one-or-two-entry chain instead of hashing
+//! or scanning. When the log advances to a later day, the previous day is
+//! *sealed*: records are sorted by key, the chain index is dropped, and all
+//! queries switch to binary search over the sorted vector. Iteration order
+//! is therefore deterministic in both states — insertion order while open,
+//! key order once sealed.
 
 use crate::actions::{ActionEvent, ActionOutcome, ActionType, TypeCounts};
 use crate::fingerprint::ClientFingerprint;
 use crate::ids::{AccountId, AsnId, MediaId};
 use crate::time::Day;
-use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, HashSet};
+use serde::{Deserialize, Error, Serialize, Value};
+use std::collections::BTreeMap;
 
 /// Key of an outbound aggregate record: who acted, from which network, with
 /// which client software. The fingerprint is part of the key because the
 /// platform's abuse signals combine ASN and client fingerprint (§5) — a
 /// mixed ASN hosting both organic app traffic and a service's spoofed
 /// private-API traffic must keep the two distinguishable.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
 pub struct OutboundKey {
     /// Acting account.
     pub account: AccountId,
@@ -57,30 +72,90 @@ impl PhotoDayLikes {
     }
 }
 
+/// Sentinel for "no chain entry" in the open-day index.
+const NONE: u32 = u32::MAX;
+
+/// Transient per-account chain index for the day currently being written.
+/// `out_heads[account]` is the index of the account's most recent outbound
+/// record; `out_next[i]` links record `i` to the account's previous record.
+#[derive(Debug, Clone, Default)]
+struct OpenIndex {
+    out_heads: Vec<u32>,
+    out_next: Vec<u32>,
+    in_heads: Vec<u32>,
+    in_next: Vec<u32>,
+}
+
+impl OpenIndex {
+    /// Rebuild chains from existing records (reopening a sealed day).
+    fn rebuild(out: &[(OutboundKey, TypeCounts)], inb: &[(InboundKey, TypeCounts)]) -> Self {
+        let mut idx = OpenIndex::default();
+        for (i, (k, _)) in out.iter().enumerate() {
+            idx.out_next.push(take_head(&mut idx.out_heads, k.account, i as u32));
+        }
+        for (i, ((a, _), _)) in inb.iter().enumerate() {
+            idx.in_next.push(take_head(&mut idx.in_heads, *a, i as u32));
+        }
+        idx
+    }
+}
+
+/// Swap `heads[account]` to `new`, returning the previous head.
+fn take_head(heads: &mut Vec<u32>, account: AccountId, new: u32) -> u32 {
+    let i = account.index();
+    if i >= heads.len() {
+        heads.resize(i + 1, NONE);
+    }
+    std::mem::replace(&mut heads[i], new)
+}
+
+fn head_of(heads: &[u32], account: AccountId) -> u32 {
+    heads.get(account.index()).copied().unwrap_or(NONE)
+}
+
+type InboundKey = (AccountId, InboundSource);
+
 /// Aggregated activity for a single day.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct DayLog {
-    /// Outbound activity: what each account *did*, keyed by source ASN and
-    /// client fingerprint (countermeasures are per-ASN; attribution uses
-    /// ASN + fingerprint).
-    pub outbound: HashMap<OutboundKey, TypeCounts>,
-    /// Inbound activity: what each account *received*, keyed by the source
-    /// network (`None` = diffuse organic sources).
-    pub inbound: HashMap<(AccountId, InboundSource), TypeCounts>,
-    /// Per-photo like-delivery stats for tracked photos.
-    pub photo_likes: HashMap<MediaId, PhotoDayLikes>,
+    /// Outbound records: insertion order while open, key order once sealed.
+    out_records: Vec<(OutboundKey, TypeCounts)>,
+    /// Inbound records, same ordering contract.
+    in_records: Vec<(InboundKey, TypeCounts)>,
+    /// Per-photo like-delivery stats for tracked photos. Low write volume
+    /// (one entry per delivery burst), so an ordered map keeps iteration
+    /// deterministic at no per-action cost.
+    pub photo_likes: BTreeMap<MediaId, PhotoDayLikes>,
     /// Full events for event-tracked accounts.
     pub events: Vec<ActionEvent>,
+    /// Chain index while this day is the open (written) day.
+    open: Option<Box<OpenIndex>>,
 }
 
 impl DayLog {
+    /// Iterate `(key, counts)` over this day's outbound records.
+    pub fn outbound(&self) -> impl Iterator<Item = (&OutboundKey, &TypeCounts)> {
+        self.out_records.iter().map(|(k, c)| (k, c))
+    }
+
+    /// Iterate `(key, counts)` over this day's inbound records.
+    pub fn inbound(&self) -> impl Iterator<Item = (&InboundKey, &TypeCounts)> {
+        self.in_records.iter().map(|(k, c)| (k, c))
+    }
+
+    /// Number of distinct outbound `(account, asn, fingerprint)` records.
+    pub fn outbound_len(&self) -> usize {
+        self.out_records.len()
+    }
+
     /// Total outbound actions of `ty` attempted by `account` across all ASNs.
     pub fn outbound_attempted(&self, account: AccountId, ty: ActionType) -> u32 {
-        self.outbound
-            .iter()
-            .filter(|(k, _)| k.account == account)
-            .map(|(_, c)| c.attempted_of(ty))
-            .sum()
+        let mut total = 0;
+        self.for_outbound_of(account, |k, c| {
+            let _ = k;
+            total += c.attempted_of(ty);
+        });
+        total
     }
 
     /// Merged outbound counters for `(account, asn)` across fingerprints.
@@ -88,12 +163,12 @@ impl DayLog {
     pub fn outbound_at(&self, account: AccountId, asn: AsnId) -> Option<TypeCounts> {
         let mut total = TypeCounts::default();
         let mut any = false;
-        for (k, c) in &self.outbound {
-            if k.account == account && k.asn == asn {
+        self.for_outbound_of(account, |k, c| {
+            if k.asn == asn {
                 total.merge(c);
                 any = true;
             }
-        }
+        });
         any.then_some(total)
     }
 
@@ -101,27 +176,211 @@ impl DayLog {
     pub fn inbound_of(&self, account: AccountId) -> Option<TypeCounts> {
         let mut total = TypeCounts::default();
         let mut any = false;
-        for ((a, _), c) in &self.inbound {
-            if *a == account {
-                total.merge(c);
-                any = true;
-            }
-        }
+        self.for_inbound_of(account, |_, c| {
+            total.merge(c);
+            any = true;
+        });
         any.then_some(total)
     }
 
     /// Inbound counters for an account restricted to one source ASN.
     pub fn inbound_from(&self, account: AccountId, asn: AsnId) -> Option<&TypeCounts> {
-        self.inbound.get(&(account, Some(asn)))
+        let key = (account, Some(asn));
+        match &self.open {
+            Some(idx) => {
+                let mut at = head_of(&idx.in_heads, account);
+                while at != NONE {
+                    let (k, c) = &self.in_records[at as usize];
+                    if *k == key {
+                        return Some(c);
+                    }
+                    at = idx.in_next[at as usize];
+                }
+                None
+            }
+            None => self
+                .in_records
+                .binary_search_by(|(k, _)| k.cmp(&key))
+                .ok()
+                .map(|i| &self.in_records[i].1),
+        }
+    }
+
+    /// Visit every outbound record of `account` (chain walk while open,
+    /// binary-searched key range once sealed).
+    fn for_outbound_of(&self, account: AccountId, mut f: impl FnMut(&OutboundKey, &TypeCounts)) {
+        match &self.open {
+            Some(idx) => {
+                let mut at = head_of(&idx.out_heads, account);
+                while at != NONE {
+                    let (k, c) = &self.out_records[at as usize];
+                    f(k, c);
+                    at = idx.out_next[at as usize];
+                }
+            }
+            None => {
+                let lo = self
+                    .out_records
+                    .partition_point(|(k, _)| k.account < account);
+                for (k, c) in &self.out_records[lo..] {
+                    if k.account != account {
+                        break;
+                    }
+                    f(k, c);
+                }
+            }
+        }
+    }
+
+    /// Visit every inbound record of `account`.
+    fn for_inbound_of(&self, account: AccountId, mut f: impl FnMut(&InboundKey, &TypeCounts)) {
+        match &self.open {
+            Some(idx) => {
+                let mut at = head_of(&idx.in_heads, account);
+                while at != NONE {
+                    let (k, c) = &self.in_records[at as usize];
+                    f(k, c);
+                    at = idx.in_next[at as usize];
+                }
+            }
+            None => {
+                let lo = self.in_records.partition_point(|((a, _), _)| *a < account);
+                for (k, c) in &self.in_records[lo..] {
+                    if k.0 != account {
+                        break;
+                    }
+                    f(k, c);
+                }
+            }
+        }
+    }
+
+    /// Upsert an outbound record.
+    fn add_outbound(&mut self, key: OutboundKey, ty: ActionType, outcome: ActionOutcome, n: u32) {
+        match &mut self.open {
+            Some(idx) => {
+                let mut at = head_of(&idx.out_heads, key.account);
+                while at != NONE {
+                    let (k, c) = &mut self.out_records[at as usize];
+                    if *k == key {
+                        c.record(ty, outcome, n);
+                        return;
+                    }
+                    at = idx.out_next[at as usize];
+                }
+                let i = self.out_records.len() as u32;
+                self.out_records.push((key, TypeCounts::default()));
+                self.out_records[i as usize].1.record(ty, outcome, n);
+                idx.out_next.push(take_head(&mut idx.out_heads, key.account, i));
+            }
+            // Sealed day (a write going backwards in time — cold path, used
+            // only by tests and out-of-order bookkeeping): sorted upsert.
+            None => match self.out_records.binary_search_by(|(k, _)| k.cmp(&key)) {
+                Ok(i) => self.out_records[i].1.record(ty, outcome, n),
+                Err(i) => {
+                    let mut c = TypeCounts::default();
+                    c.record(ty, outcome, n);
+                    self.out_records.insert(i, (key, c));
+                }
+            },
+        }
+    }
+
+    /// Upsert an inbound record.
+    fn add_inbound(&mut self, key: InboundKey, ty: ActionType, outcome: ActionOutcome, n: u32) {
+        match &mut self.open {
+            Some(idx) => {
+                let mut at = head_of(&idx.in_heads, key.0);
+                while at != NONE {
+                    let (k, c) = &mut self.in_records[at as usize];
+                    if *k == key {
+                        c.record(ty, outcome, n);
+                        return;
+                    }
+                    at = idx.in_next[at as usize];
+                }
+                let i = self.in_records.len() as u32;
+                self.in_records.push((key, TypeCounts::default()));
+                self.in_records[i as usize].1.record(ty, outcome, n);
+                idx.in_next.push(take_head(&mut idx.in_heads, key.0, i));
+            }
+            None => match self.in_records.binary_search_by(|(k, _)| k.cmp(&key)) {
+                Ok(i) => self.in_records[i].1.record(ty, outcome, n),
+                Err(i) => {
+                    let mut c = TypeCounts::default();
+                    c.record(ty, outcome, n);
+                    self.in_records.insert(i, (key, c));
+                }
+            },
+        }
+    }
+
+    /// Sort records by key and drop the chain index. Idempotent.
+    fn seal(&mut self) {
+        if self.open.take().is_some() {
+            self.out_records.sort_unstable_by(|(a, _), (b, _)| a.cmp(b));
+            self.in_records.sort_unstable_by(|(a, _), (b, _)| a.cmp(b));
+        }
+    }
+
+    /// Whether this day currently carries the open-day chain index.
+    fn is_open(&self) -> bool {
+        self.open.is_some()
+    }
+
+    /// Install (or rebuild) the chain index so this day accepts O(1) writes.
+    fn open_for_writes(&mut self) {
+        if self.open.is_none() {
+            self.open = Some(Box::new(OpenIndex::rebuild(
+                &self.out_records,
+                &self.in_records,
+            )));
+        }
+    }
+}
+
+impl Serialize for DayLog {
+    fn to_value(&self) -> Value {
+        // Serialize sorted copies so the output is identical whether the day
+        // was sealed or still open.
+        let mut out = self.out_records.clone();
+        out.sort_unstable_by(|(a, _), (b, _)| a.cmp(b));
+        let mut inb = self.in_records.clone();
+        inb.sort_unstable_by(|(a, _), (b, _)| a.cmp(b));
+        Value::Map(vec![
+            (Value::Str("outbound".into()), out.to_value()),
+            (Value::Str("inbound".into()), inb.to_value()),
+            (Value::Str("photo_likes".into()), self.photo_likes.to_value()),
+            (Value::Str("events".into()), self.events.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for DayLog {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let field = |name: &str| {
+            v.get_field(name)
+                .ok_or_else(|| Error::custom(format!("DayLog missing field `{name}`")))
+        };
+        Ok(DayLog {
+            out_records: Deserialize::from_value(field("outbound")?)?,
+            in_records: Deserialize::from_value(field("inbound")?)?,
+            photo_likes: Deserialize::from_value(field("photo_likes")?)?,
+            events: Deserialize::from_value(field("events")?)?,
+            open: None,
+        })
     }
 }
 
 /// The append-only platform log, indexed by day.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct ActionLog {
     days: Vec<DayLog>,
-    /// Accounts for which full per-action events are retained.
-    event_tracked: HashSet<AccountId>,
+    /// Index of the open (chain-indexed) day; days below it are sealed.
+    open_idx: usize,
+    /// `tracked[account]`: full per-action events are retained. Dense, so
+    /// the per-event check costs one bounds-checked load.
+    event_tracked: Vec<bool>,
 }
 
 impl ActionLog {
@@ -133,19 +392,36 @@ impl ActionLog {
     /// Register an account for event-level retention. Events involving the
     /// account (as actor or target) from now on are stored verbatim.
     pub fn track_events_for(&mut self, id: AccountId) {
-        self.event_tracked.insert(id);
+        let i = id.index();
+        if i >= self.event_tracked.len() {
+            self.event_tracked.resize(i + 1, false);
+        }
+        self.event_tracked[i] = true;
     }
 
     /// Whether events for this account are retained.
     pub fn is_event_tracked(&self, id: AccountId) -> bool {
-        self.event_tracked.contains(&id)
+        self.event_tracked.get(id.index()).copied().unwrap_or(false)
     }
 
-    /// Mutable day record, growing the log as needed.
+    /// Mutable day record, growing the log as needed. Advancing to a later
+    /// day seals every earlier day (sorts its records, drops its chain
+    /// index); writes to an already-sealed day fall back to sorted upserts.
     pub fn day_mut(&mut self, day: Day) -> &mut DayLog {
         let idx = day.0 as usize;
         if idx >= self.days.len() {
             self.days.resize_with(idx + 1, DayLog::default);
+        }
+        if idx >= self.open_idx {
+            if idx > self.open_idx {
+                for d in &mut self.days[self.open_idx..idx] {
+                    d.seal();
+                }
+                self.open_idx = idx;
+            }
+            if !self.days[idx].is_open() {
+                self.days[idx].open_for_writes();
+            }
         }
         &mut self.days[idx]
     }
@@ -192,10 +468,7 @@ impl ActionLog {
             return;
         }
         self.day_mut(day)
-            .outbound
-            .entry(OutboundKey { account: actor, asn, fingerprint })
-            .or_default()
-            .record(ty, outcome, n);
+            .add_outbound(OutboundKey { account: actor, asn, fingerprint }, ty, outcome, n);
     }
 
     /// Record `n` delivered inbound actions landing on `target` on `day`
@@ -227,11 +500,7 @@ impl ActionLog {
         if n == 0 {
             return;
         }
-        self.day_mut(day)
-            .inbound
-            .entry((target, source))
-            .or_default()
-            .record(ty, outcome, n);
+        self.day_mut(day).add_inbound((target, source), ty, outcome, n);
     }
 
     /// Record a like-delivery burst onto a photo.
@@ -253,8 +522,8 @@ impl ActionLog {
         let target_tracked = ev
             .target
             .account()
-            .is_some_and(|t| self.event_tracked.contains(&t));
-        if self.event_tracked.contains(&ev.actor) || target_tracked {
+            .is_some_and(|t| self.is_event_tracked(t));
+        if self.is_event_tracked(ev.actor) || target_tracked {
             let day = ev.at.day();
             self.day_mut(day).events.push(ev);
             true
@@ -307,6 +576,42 @@ impl ActionLog {
     }
 }
 
+impl Serialize for ActionLog {
+    fn to_value(&self) -> Value {
+        let tracked: Vec<AccountId> = self
+            .event_tracked
+            .iter()
+            .enumerate()
+            .filter(|(_, &t)| t)
+            .map(|(i, _)| AccountId(i as u32))
+            .collect();
+        Value::Map(vec![
+            (Value::Str("days".into()), self.days.to_value()),
+            (Value::Str("event_tracked".into()), tracked.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for ActionLog {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let field = |name: &str| {
+            v.get_field(name)
+                .ok_or_else(|| Error::custom(format!("ActionLog missing field `{name}`")))
+        };
+        let days: Vec<DayLog> = Deserialize::from_value(field("days")?)?;
+        let tracked: Vec<AccountId> = Deserialize::from_value(field("event_tracked")?)?;
+        let mut log = ActionLog {
+            open_idx: days.len().saturating_sub(1),
+            days,
+            event_tracked: Vec::new(),
+        };
+        for id in tracked {
+            log.track_events_for(id);
+        }
+        Ok(log)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -342,8 +647,8 @@ mod tests {
         let at1 = d.outbound_at(a, AsnId(1)).unwrap();
         assert_eq!(at1.blocked_of(ActionType::Like), 3);
         assert_eq!(at1.attempted_of(ActionType::Like), 5);
-        // Fingerprints remain distinguishable in the raw map.
-        assert_eq!(d.outbound.len(), 3);
+        // Fingerprints remain distinguishable in the raw records.
+        assert_eq!(d.outbound_len(), 3);
         assert_eq!(log.total_outbound(a, ActionType::Like, Day(0), Day(1)), 10);
     }
 
@@ -420,5 +725,83 @@ mod tests {
         assert_eq!(log.horizon(), Day(0));
         log.day_mut(Day(4));
         assert_eq!(log.horizon(), Day(5));
+    }
+
+    #[test]
+    fn sealed_days_answer_the_same_queries_as_open_ones() {
+        let mut log = ActionLog::new();
+        let a = AccountId(3);
+        let b = AccountId(5);
+        let fp = ClientFingerprint::SpoofedMobile { variant: 2 };
+        // Interleave writers so the open-day chains are non-trivial.
+        for i in 0..10u32 {
+            let who = if i % 2 == 0 { a } else { b };
+            let asn = AsnId(i % 3);
+            log.record_outbound(Day(0), who, asn, fp, ActionType::Follow, ActionOutcome::Delivered, i + 1);
+            log.record_inbound(Day(0), who, Some(asn), ActionType::Like, i + 1);
+        }
+        let open_att = log.day(Day(0)).unwrap().outbound_attempted(a, ActionType::Follow);
+        let open_at = log.day(Day(0)).unwrap().outbound_at(a, AsnId(0));
+        let open_in = log.day(Day(0)).unwrap().inbound_of(b);
+        assert!(log.day(Day(0)).unwrap().is_open());
+        // Advancing the log seals day 0.
+        log.record_outbound(Day(1), a, AsnId(0), fp, ActionType::Like, ActionOutcome::Delivered, 1);
+        let d0 = log.day(Day(0)).unwrap();
+        assert!(!d0.is_open());
+        assert_eq!(d0.outbound_attempted(a, ActionType::Follow), open_att);
+        assert_eq!(d0.outbound_at(a, AsnId(0)), open_at);
+        assert_eq!(d0.inbound_of(b), open_in);
+        // Sealed records are in key order.
+        let keys: Vec<OutboundKey> = d0.outbound().map(|(k, _)| *k).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    fn writes_to_sealed_days_upsert_in_key_order() {
+        let mut log = ActionLog::new();
+        let fp = ClientFingerprint::OfficialApp;
+        log.record_outbound(Day(5), AccountId(1), AsnId(0), fp, ActionType::Like, ActionOutcome::Delivered, 1);
+        // Day 2 is behind the open day — sealed (and empty) from the start.
+        log.record_outbound(Day(2), AccountId(9), AsnId(0), fp, ActionType::Like, ActionOutcome::Delivered, 4);
+        log.record_outbound(Day(2), AccountId(4), AsnId(0), fp, ActionType::Like, ActionOutcome::Delivered, 2);
+        log.record_outbound(Day(2), AccountId(9), AsnId(0), fp, ActionType::Like, ActionOutcome::Delivered, 1);
+        let d2 = log.day(Day(2)).unwrap();
+        assert_eq!(d2.outbound_attempted(AccountId(9), ActionType::Like), 5);
+        assert_eq!(d2.outbound_attempted(AccountId(4), ActionType::Like), 2);
+        let accounts: Vec<u32> = d2.outbound().map(|(k, _)| k.account.0).collect();
+        assert_eq!(accounts, vec![4, 9]);
+    }
+
+    #[test]
+    fn day_log_serializes_identically_open_or_sealed() {
+        let mut a = ActionLog::new();
+        let mut b = ActionLog::new();
+        let fp = ClientFingerprint::SpoofedMobile { variant: 1 };
+        for log in [&mut a, &mut b] {
+            for i in (0..6u32).rev() {
+                log.record_outbound(
+                    Day(0),
+                    AccountId(i),
+                    AsnId(0),
+                    fp,
+                    ActionType::Follow,
+                    ActionOutcome::Delivered,
+                    i + 1,
+                );
+            }
+        }
+        // Seal `b`'s day 0 by advancing; leave `a`'s open.
+        b.record_outbound(Day(1), AccountId(0), AsnId(0), fp, ActionType::Like, ActionOutcome::Delivered, 1);
+        let ser_a = serde_json::to_string(&a.day(Day(0)).unwrap()).unwrap();
+        let ser_b = serde_json::to_string(&b.day(Day(0)).unwrap()).unwrap();
+        assert_eq!(ser_a, ser_b);
+        // And the round trip preserves queries.
+        let back: DayLog = serde_json::from_str(&ser_a).unwrap();
+        assert_eq!(
+            back.outbound_attempted(AccountId(3), ActionType::Follow),
+            4
+        );
     }
 }

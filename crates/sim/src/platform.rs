@@ -40,12 +40,11 @@ use crate::graph::SocialGraph;
 use crate::ids::{AccountId, AsnId, MediaId, ServiceId};
 use crate::log::ActionLog;
 use crate::net::{AsnRegistry, IpAddr4};
-use crate::ratelimit::{public_api_quota, FixedWindowLimiter};
+use crate::ratelimit::{public_api_quota, DenseWindowLimiter};
 use crate::time::{Day, SimClock, SimTime, SECS_PER_DAY};
 use rand::rngs::SmallRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Platform-wide tuning knobs.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -61,6 +60,10 @@ pub struct PlatformConfig {
     /// the day of the action itself. The paper observed reciprocation
     /// "uniformly distributed throughout the trial period".
     pub response_window_days: u32,
+    /// Worker threads for the parallel decision phase of the daily engine
+    /// (DESIGN.md §4). Results are byte-identical for any value ≥ 1; this
+    /// only controls how the per-customer planning work is sharded.
+    pub worker_threads: usize,
 }
 
 impl Default for PlatformConfig {
@@ -69,6 +72,7 @@ impl Default for PlatformConfig {
             behavior: BehaviorParams::default(),
             ip_daily_action_cap: 2_000,
             response_window_days: 6,
+            worker_threads: 1,
         }
     }
 }
@@ -230,6 +234,37 @@ pub struct DayMetrics {
     pub edge_blocked: u32,
 }
 
+/// First address of the synthetic IPv4 space ([`AsnRegistry`] allocates
+/// blocks contiguously from here), used to index the dense IP-volume table.
+const IP_BASE: u32 = 0x0100_0000;
+
+/// Day-stamped per-IP volume slot: `used` counts only if `day` matches the
+/// querying day, which makes the daily reset O(1) instead of a table clear.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+struct IpVolume {
+    day: u32,
+    used: u32,
+}
+
+const STALE_IP_VOLUME: IpVolume = IpVolume { day: u32::MAX, used: 0 };
+
+/// Append `day`-indexed queue access for the pending-work tables.
+fn day_queue<T>(queue: &mut Vec<Vec<T>>, day: Day) -> &mut Vec<T> {
+    let idx = day.0 as usize;
+    if idx >= queue.len() {
+        queue.resize_with(idx + 1, Vec::new);
+    }
+    &mut queue[idx]
+}
+
+/// Take (and empty) a day's queue without disturbing the table shape.
+fn take_day_queue<T>(queue: &mut Vec<Vec<T>>, day: Day) -> Vec<T> {
+    queue
+        .get_mut(day.0 as usize)
+        .map(std::mem::take)
+        .unwrap_or_default()
+}
+
 /// The simulated platform.
 pub struct Platform {
     /// Simulation clock, advanced by the engine.
@@ -245,15 +280,19 @@ pub struct Platform {
     /// Tuning knobs.
     pub config: PlatformConfig,
     policy: Box<dyn EnforcementPolicy>,
-    oauth_quota: FixedWindowLimiter<AccountId>,
-    ip_volume_today: HashMap<IpAddr4, u32>,
-    ip_volume_day: Day,
-    pending_removals: HashMap<Day, Vec<PendingRemoval>>,
-    pending_responses: HashMap<Day, Vec<PendingResponse>>,
-    pending_event_responses: HashMap<Day, Vec<PendingEventResponse>>,
-    logins: HashMap<AccountId, HashMap<crate::country::Country, u32>>,
-    ground_truth: HashMap<AccountId, u8>,
-    metrics: HashMap<Day, DayMetrics>,
+    oauth_quota: DenseWindowLimiter,
+    /// Per-IP delivered volume, indexed by `ip - IP_BASE`, day-stamped.
+    ip_volume: Vec<IpVolume>,
+    /// Pending-work queues, indexed by `Day::0`.
+    pending_removals: Vec<Vec<PendingRemoval>>,
+    pending_responses: Vec<Vec<PendingResponse>>,
+    pending_event_responses: Vec<Vec<PendingEventResponse>>,
+    /// Per-account login counts by country, indexed by account id.
+    logins: Vec<[u32; crate::country::Country::ALL.len()]>,
+    /// Per-account ground-truth service bitmask, indexed by account id.
+    ground_truth: Vec<u8>,
+    /// Per-day metrics, indexed by `Day::0`.
+    metrics: Vec<DayMetrics>,
     rng: SmallRng,
 }
 
@@ -269,16 +308,41 @@ impl Platform {
             config,
             policy: Box::new(NoEnforcement),
             oauth_quota: public_api_quota(),
-            ip_volume_today: HashMap::new(),
-            ip_volume_day: Day(0),
-            pending_removals: HashMap::new(),
-            pending_responses: HashMap::new(),
-            pending_event_responses: HashMap::new(),
-            logins: HashMap::new(),
-            ground_truth: HashMap::new(),
-            metrics: HashMap::new(),
+            ip_volume: Vec::new(),
+            pending_removals: Vec::new(),
+            pending_responses: Vec::new(),
+            pending_event_responses: Vec::new(),
+            logins: Vec::new(),
+            ground_truth: Vec::new(),
+            metrics: Vec::new(),
             rng,
         }
+    }
+
+    /// Today's delivered-volume counter for `ip`, reset lazily at day
+    /// boundaries via the day stamp.
+    fn ip_used_mut(&mut self, ip: IpAddr4, day: Day) -> &mut u32 {
+        let idx = ip
+            .0
+            .checked_sub(IP_BASE)
+            .expect("IP below the synthetic address space") as usize;
+        if idx >= self.ip_volume.len() {
+            self.ip_volume.resize(idx + 1, STALE_IP_VOLUME);
+        }
+        let slot = &mut self.ip_volume[idx];
+        if slot.day != day.0 {
+            slot.day = day.0;
+            slot.used = 0;
+        }
+        &mut slot.used
+    }
+
+    fn metrics_mut(&mut self, day: Day) -> &mut DayMetrics {
+        let idx = day.0 as usize;
+        if idx >= self.metrics.len() {
+            self.metrics.resize(idx + 1, DayMetrics::default());
+        }
+        &mut self.metrics[idx]
     }
 
     /// Install an enforcement policy (replacing any previous one).
@@ -296,10 +360,6 @@ impl Platform {
     /// matured organic reciprocations.
     pub fn begin_day(&mut self, day: Day) {
         self.clock.advance_to_day(day);
-        if self.ip_volume_day != day {
-            self.ip_volume_today.clear();
-            self.ip_volume_day = day;
-        }
         self.apply_removals(day);
         self.apply_responses(day);
         self.apply_event_responses(day);
@@ -307,13 +367,16 @@ impl Platform {
 
     /// Per-day metrics (zeros if nothing was recorded).
     pub fn metrics(&self, day: Day) -> DayMetrics {
-        self.metrics.get(&day).copied().unwrap_or_default()
+        self.metrics
+            .get(day.0 as usize)
+            .copied()
+            .unwrap_or_default()
     }
 
     /// Ground-truth services that have driven this account (bitmask over
     /// [`ServiceId::index`]). For classifier scoring only.
     pub fn ground_truth_services(&self, id: AccountId) -> Vec<ServiceId> {
-        let mask = self.ground_truth.get(&id).copied().unwrap_or(0);
+        let mask = self.ground_truth.get(id.index()).copied().unwrap_or(0);
         ServiceId::ALL
             .into_iter()
             .filter(|s| mask & (1 << s.index()) != 0)
@@ -322,7 +385,7 @@ impl Platform {
 
     /// Whether ground truth says any service drove this account.
     pub fn is_ground_truth_abusive(&self, id: AccountId) -> bool {
-        self.ground_truth.get(&id).is_some_and(|&m| m != 0)
+        self.ground_truth.get(id.index()).is_some_and(|&m| m != 0)
     }
 
     /// Record a login by `account` from its home network (organic client).
@@ -335,22 +398,26 @@ impl Platform {
     /// customer accounts from their own networks, "infrequently", §5.1).
     pub fn record_login_via(&mut self, account: AccountId, asn: AsnId) {
         let country = self.asns.get(asn).country;
-        *self
-            .logins
-            .entry(account)
-            .or_default()
-            .entry(country)
-            .or_insert(0) += 1;
+        let idx = account.index();
+        if idx >= self.logins.len() {
+            self.logins
+                .resize(idx + 1, [0; crate::country::Country::ALL.len()]);
+        }
+        self.logins[idx][country.index()] += 1;
     }
 
     /// The platform geolocation answer for an account: the most frequent
     /// login country (ties broken by country index for determinism).
     pub fn login_country(&self, account: AccountId) -> Option<crate::country::Country> {
-        self.logins.get(&account).and_then(|m| {
-            m.iter()
-                .max_by_key(|(c, n)| (**n, std::cmp::Reverse(c.index())))
-                .map(|(c, _)| *c)
-        })
+        let counts = self.logins.get(account.index())?;
+        let mut best: Option<(u32, crate::country::Country)> = None;
+        for c in crate::country::Country::ALL {
+            let n = counts[c.index()];
+            if n > 0 && best.is_none_or(|(bn, _)| n > bn) {
+                best = Some((n, c));
+            }
+        }
+        best.map(|(_, c)| c)
     }
 
     /// Create a media post by `owner` now (records a `Post` action event for
@@ -414,7 +481,9 @@ impl Platform {
 
         // 1. Public-API quota.
         if req.fingerprint == ClientFingerprint::PublicApi {
-            let granted = self.oauth_quota.acquire(&req.actor, self.clock.now(), remaining);
+            let granted = self
+                .oauth_quota
+                .acquire(req.actor.index(), self.clock.now(), remaining);
             let refused = remaining - granted;
             if refused > 0 {
                 self.log.record_outbound(
@@ -432,8 +501,9 @@ impl Platform {
         }
 
         // 2. Baseline IP-volume defense.
-        let used = self.ip_volume_today.entry(req.ip).or_insert(0);
-        let edge_room = self.config.ip_daily_action_cap.saturating_sub(*used);
+        let cap = self.config.ip_daily_action_cap;
+        let used = self.ip_used_mut(req.ip, day);
+        let edge_room = cap.saturating_sub(*used);
         let edge_pass = remaining.min(edge_room);
         let edge_blocked = remaining - edge_pass;
         *used += edge_pass;
@@ -448,7 +518,7 @@ impl Platform {
                 edge_blocked,
             );
             result.blocked += edge_blocked;
-            self.metrics.entry(day).or_default().edge_blocked += edge_blocked;
+            self.metrics_mut(day).edge_blocked += edge_blocked;
         }
         remaining = edge_pass;
         if remaining == 0 {
@@ -530,14 +600,13 @@ impl Platform {
                     );
                     result.deferred += excess;
                     self.apply_batch_side_effects(&req, excess, true);
-                    self.pending_removals
-                        .entry(day.next())
-                        .or_default()
-                        .push(PendingRemoval::Aggregate {
+                    day_queue(&mut self.pending_removals, day.next()).push(
+                        PendingRemoval::Aggregate {
                             from: req.actor,
                             to: None,
                             count: excess,
-                        });
+                        },
+                    );
                 }
             }
         }
@@ -649,14 +718,13 @@ impl Platform {
             if deferred > 0 {
                 // The actor-side decrement is owned by the outbound batch's
                 // own removal; here we schedule only the follower-side undo.
-                self.pending_removals
-                    .entry(day.next())
-                    .or_default()
-                    .push(PendingRemoval::Aggregate {
+                day_queue(&mut self.pending_removals, day.next()).push(
+                    PendingRemoval::Aggregate {
                         from: target,
                         to: Some(target),
                         count: deferred,
-                    });
+                    },
+                );
             }
         }
         if ty == ActionType::Like {
@@ -680,16 +748,17 @@ impl Platform {
 
         // 1. Public-API quota.
         if req.fingerprint == ClientFingerprint::PublicApi
-            && self.oauth_quota.acquire(&req.actor, now, 1) == 0
+            && self.oauth_quota.acquire(req.actor.index(), now, 1) == 0
         {
             self.finish_event(req, now, ActionOutcome::RateLimited);
             return ActionOutcome::RateLimited;
         }
 
         // 2. Baseline IP-volume defense.
-        let used = self.ip_volume_today.entry(req.ip).or_insert(0);
-        if *used >= self.config.ip_daily_action_cap {
-            self.metrics.entry(day).or_default().edge_blocked += 1;
+        let cap = self.config.ip_daily_action_cap;
+        let used = self.ip_used_mut(req.ip, day);
+        if *used >= cap {
+            self.metrics_mut(day).edge_blocked += 1;
             self.finish_event(req, now, ActionOutcome::Blocked);
             return ActionOutcome::Blocked;
         }
@@ -733,7 +802,11 @@ impl Platform {
 
     fn note_ground_truth(&mut self, actor: AccountId, service: Option<ServiceId>) {
         if let Some(s) = service {
-            *self.ground_truth.entry(actor).or_insert(0) |= 1 << s.index();
+            let idx = actor.index();
+            if idx >= self.ground_truth.len() {
+                self.ground_truth.resize(idx + 1, 0);
+            }
+            self.ground_truth[idx] |= 1 << s.index();
         }
     }
 
@@ -803,9 +876,7 @@ impl Platform {
             // Same-day responses apply immediately.
             self.apply_response(PendingResponse { target, action, count });
         } else {
-            self.pending_responses
-                .entry(on)
-                .or_default()
+            day_queue(&mut self.pending_responses, on)
                 .push(PendingResponse { target, action, count });
         }
     }
@@ -830,13 +901,12 @@ impl Platform {
             ActionType::Follow => {
                 self.graph.follow(&mut self.accounts, req.actor, req.target);
                 if outcome == ActionOutcome::DeferredRemoval {
-                    self.pending_removals
-                        .entry(day.next())
-                        .or_default()
-                        .push(PendingRemoval::Edge {
+                    day_queue(&mut self.pending_removals, day.next()).push(
+                        PendingRemoval::Edge {
                             from: req.actor,
                             to: req.target,
-                        });
+                        },
+                    );
                 }
             }
             ActionType::Unfollow => {
@@ -894,10 +964,7 @@ impl Platform {
             if at.day() == now.day() {
                 self.apply_event_response(resp);
             } else {
-                self.pending_event_responses
-                    .entry(at.day())
-                    .or_default()
-                    .push(resp);
+                day_queue(&mut self.pending_event_responses, at.day()).push(resp);
             }
         }
     }
@@ -953,9 +1020,10 @@ impl Platform {
     }
 
     fn apply_removals(&mut self, day: Day) {
-        let Some(removals) = self.pending_removals.remove(&day) else {
+        let removals = take_day_queue(&mut self.pending_removals, day);
+        if removals.is_empty() {
             return;
-        };
+        }
         let mut removed = 0u32;
         for r in removals {
             match r {
@@ -983,23 +1051,18 @@ impl Platform {
             }
         }
         if removed > 0 {
-            self.metrics.entry(day).or_default().removed_follows += removed;
+            self.metrics_mut(day).removed_follows += removed;
         }
     }
 
     fn apply_responses(&mut self, day: Day) {
-        let Some(responses) = self.pending_responses.remove(&day) else {
-            return;
-        };
-        for r in responses {
+        for r in take_day_queue(&mut self.pending_responses, day) {
             self.apply_response(r);
         }
     }
 
     fn apply_event_responses(&mut self, day: Day) {
-        let Some(mut responses) = self.pending_event_responses.remove(&day) else {
-            return;
-        };
+        let mut responses = take_day_queue(&mut self.pending_event_responses, day);
         responses.sort_by_key(|r| (r.at, r.responder, r.to));
         for r in responses {
             self.apply_event_response(r);

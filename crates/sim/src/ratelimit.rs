@@ -86,6 +86,74 @@ impl<K: Eq + Hash + Clone> FixedWindowLimiter<K> {
     }
 }
 
+/// [`FixedWindowLimiter`] over dense integer keys (account ids): per-key
+/// state lives in a `Vec` indexed by `key.index()`, so the platform's
+/// per-action quota check is hash-free. Window bookkeeping is identical to
+/// the generic limiter.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DenseWindowLimiter {
+    limit: u32,
+    window_secs: u64,
+    #[serde(skip)]
+    state: Vec<WindowState>,
+}
+
+impl DenseWindowLimiter {
+    /// Create a limiter allowing `limit` events per `window_secs` window.
+    pub fn new(limit: u32, window_secs: u64) -> Self {
+        assert!(window_secs > 0, "window must be positive");
+        Self {
+            limit,
+            window_secs,
+            state: Vec::new(),
+        }
+    }
+
+    /// Convenience: `limit` events per hour.
+    pub fn per_hour(limit: u32) -> Self {
+        Self::new(limit, SECS_PER_HOUR)
+    }
+
+    /// The configured per-window limit.
+    pub fn limit(&self) -> u32 {
+        self.limit
+    }
+
+    /// Try to consume `n` units for the key at dense index `key` at time
+    /// `now`. Returns how many units were granted.
+    pub fn acquire(&mut self, key: usize, now: SimTime, n: u32) -> u32 {
+        let window_index = now.0 / self.window_secs;
+        if key >= self.state.len() {
+            self.state.resize(
+                key + 1,
+                WindowState { window_index: u64::MAX, used: 0 },
+            );
+        }
+        let st = &mut self.state[key];
+        if st.window_index != window_index {
+            st.window_index = window_index;
+            st.used = 0;
+        }
+        let granted = n.min(self.limit.saturating_sub(st.used));
+        st.used += granted;
+        granted
+    }
+
+    /// Units still available for `key` in the window containing `now`.
+    pub fn remaining(&self, key: usize, now: SimTime) -> u32 {
+        let window_index = now.0 / self.window_secs;
+        match self.state.get(key) {
+            Some(st) if st.window_index == window_index => self.limit.saturating_sub(st.used),
+            _ => self.limit,
+        }
+    }
+
+    /// Drop all per-key state (e.g. between simulated experiments).
+    pub fn reset(&mut self) {
+        self.state.clear();
+    }
+}
+
 /// Cooldown limiter: a key may act at most once every `cooldown_secs`
 /// seconds. Models Hublaagram's "30-minute timeout between requests".
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -138,10 +206,10 @@ impl<K: Eq + Hash + Clone> CooldownLimiter<K> {
 /// account per day), making the public API a non-option and pushing services
 /// to spoofed private-API traffic, which is what the fingerprint signals
 /// then catch.
-pub fn public_api_quota() -> FixedWindowLimiter<crate::ids::AccountId> {
+pub fn public_api_quota() -> DenseWindowLimiter {
     // 30 writes per account-hour, in line with the published sandbox limits
     // of the era.
-    FixedWindowLimiter::per_hour(30)
+    DenseWindowLimiter::per_hour(30)
 }
 
 #[cfg(test)]
@@ -205,7 +273,7 @@ mod tests {
         // tops out at 30/hour = 720/day *of quota*, but burst delivery (e.g.
         // 2,000 likes "immediately", Table 3) is impossible.
         let mut q = public_api_quota();
-        let got = q.acquire(&AccountId(1), SimTime(0), 2_000);
+        let got = q.acquire(AccountId(1).index(), SimTime(0), 2_000);
         assert!(got <= 30);
     }
 

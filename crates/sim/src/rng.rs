@@ -46,6 +46,28 @@ impl RngFactory {
     pub fn substream(&self, label: &str, n: u64) -> SmallRng {
         SmallRng::seed_from_u64(mix(mix(self.seed, hash_label(label)), n))
     }
+
+    /// The raw 64-bit seed of the stream identified by `label` — the value
+    /// `stream(label)` is seeded from. Components that need to derive many
+    /// per-entity streams (the parallel decision phase derives one per
+    /// account-day) keep this seed and feed it to [`decision_rng`] instead
+    /// of holding a factory.
+    pub fn stream_seed(&self, label: &str) -> u64 {
+        mix(self.seed, hash_label(label))
+    }
+}
+
+/// Derive the decision RNG for one `(entity, day)` pair of a component.
+///
+/// This is the randomness contract of the two-phase daily engine (DESIGN.md
+/// §4): every per-entity decision draw comes from a stream that is a pure
+/// function of `(scenario seed, stream label, entity id, day)` — obtained
+/// here as `mix(mix(stream_seed, entity), day)` — and never from a shared
+/// sequential stream. Because the stream does not depend on the order in
+/// which entities are processed, the decision phase can be sharded across
+/// any number of worker threads and still produce byte-identical results.
+pub fn decision_rng(stream_seed: u64, entity: u64, day: u64) -> SmallRng {
+    SmallRng::seed_from_u64(mix(mix(stream_seed, entity), day))
 }
 
 /// FNV-1a over the label bytes. Cheap, stable, and collision-resistant
@@ -120,6 +142,23 @@ mod tests {
         let a1_again: u64 = f.substream("acct", 1).gen();
         assert_ne!(a1, a2);
         assert_eq!(a1, a1_again);
+    }
+
+    #[test]
+    fn stream_seed_matches_stream() {
+        let f = RngFactory::new(41);
+        let via_seed: u64 = SmallRng::seed_from_u64(f.stream_seed("aas.x")).gen();
+        let via_stream: u64 = f.stream("aas.x").gen();
+        assert_eq!(via_seed, via_stream);
+    }
+
+    #[test]
+    fn decision_rng_is_stable_and_distinguishes_entity_and_day() {
+        let s = RngFactory::new(7).stream_seed("aas.x.decide");
+        let a: u64 = decision_rng(s, 10, 3).gen();
+        assert_eq!(a, decision_rng(s, 10, 3).gen(), "same (entity, day) → same stream");
+        assert_ne!(a, decision_rng(s, 11, 3).gen(), "entity perturbs the stream");
+        assert_ne!(a, decision_rng(s, 10, 4).gen(), "day perturbs the stream");
     }
 
     #[test]

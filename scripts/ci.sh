@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Offline CI gate: release build, full test suite, and the engine perf
+# baseline, with warnings denied. Uses only vendored dependencies — safe
+# to run without network access.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export RUSTFLAGS="${RUSTFLAGS:--Dwarnings}"
+export CARGO_NET_OFFLINE=true
+
+echo "== build (release, -Dwarnings) =="
+cargo build --release
+
+echo "== test =="
+cargo test -q
+
+echo "== perf baseline (smoke scenario) =="
+cargo run --release -p footsteps-bench --bin perf_baseline -- 7 /tmp/BENCH_daily_engine.ci.json
+
+echo "CI OK"

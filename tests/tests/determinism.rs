@@ -36,6 +36,44 @@ fn different_seeds_differ() {
     assert_ne!(a, b, "different seeds must explore different worlds");
 }
 
+/// Run the smoke scenario with a given decision-phase worker count and
+/// collect the full serializable results aggregate.
+fn results_with_threads(seed: u64, threads: usize) -> results::StudyResults {
+    let mut scenario = Scenario::smoke(seed);
+    scenario.worker_threads = threads;
+    let mut study = Study::new(scenario);
+    study.run_characterization();
+    results::StudyResults::collect(&study)
+}
+
+#[test]
+fn results_are_byte_identical_across_worker_threads() {
+    // The two-phase engine's contract: the decision phase may shard across
+    // any number of workers, the serialized study results do not change.
+    let one = results_with_threads(7, 1);
+    let two = results_with_threads(7, 2);
+    let eight = results_with_threads(7, 8);
+    let json = one.to_json();
+    assert_eq!(json, two.to_json(), "1 vs 2 worker threads");
+    assert_eq!(json, eight.to_json(), "1 vs 8 worker threads");
+}
+
+#[test]
+fn smoke_results_match_recorded_digest() {
+    // Golden digest of the default smoke seed. A mismatch means the
+    // simulation's randomness or result serialization changed — regenerate
+    // deliberately (print `results_with_threads(7, 1).digest()`) and record
+    // the behaviour change in CHANGES.md.
+    let digest = results_with_threads(7, 1).digest();
+    assert_eq!(
+        digest, GOLDEN_SMOKE_DIGEST,
+        "smoke results drifted from the recorded golden digest: got {digest:#x}"
+    );
+}
+
+/// FNV-1a digest of `StudyResults::to_json()` for `Scenario::smoke(7)`.
+const GOLDEN_SMOKE_DIGEST: u64 = 0xce8a_eb34_fb9f_e096;
+
 #[test]
 fn series_are_deterministic_through_interventions() {
     let run = |seed: u64| {

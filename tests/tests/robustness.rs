@@ -78,7 +78,7 @@ fn followersgratis_is_neutered_by_the_ip_volume_defense() {
         &PopulationConfig { size: 2_000, ..PopulationConfig::default() },
         &mut rng,
     );
-    let mut mk = |ip_pool: u32, asn: AsnId, seed: u64| {
+    let mk = |ip_pool: u32, asn: AsnId, seed: u64| {
         let mut cfg = presets::followersgratis_config(0.05);
         cfg.ip_pool_size = ip_pool;
         cfg.lifecycle.arrival_rate = 10.0;
@@ -101,7 +101,7 @@ fn followersgratis_is_neutered_by_the_ip_volume_defense() {
         let mut attempted = 0u64;
         let mut blocked = 0u64;
         for (_, log) in platform.log.iter_range(Day(0), Day(10)) {
-            for (key, counts) in &log.outbound {
+            for (key, counts) in log.outbound() {
                 if key.asn == asn {
                     attempted += u64::from(counts.total_attempted());
                     blocked += u64::from(

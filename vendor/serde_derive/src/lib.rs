@@ -1,0 +1,543 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde work-alike.
+//!
+//! Implemented directly on `proc_macro` token streams (syn/quote are not
+//! available offline). Supports the shapes this workspace uses:
+//!
+//! * structs with named fields (including `#[serde(skip)]` fields, which are
+//!   omitted on serialize and `Default`-filled on deserialize);
+//! * tuple structs (single-field newtypes serialize transparently);
+//! * unit structs;
+//! * enums with unit, tuple, and struct variants (externally tagged);
+//! * type generics with inline bounds (e.g. `struct Foo<K: Eq + Hash>`).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    render_serialize(&item).parse().expect("generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    render_deserialize(&item).parse().expect("generated Deserialize impl must parse")
+}
+
+// ---- model ----------------------------------------------------------------
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum ItemKind {
+    NamedStruct(Vec<Field>),
+    TupleStruct { arity: usize },
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    /// Original generic parameter list, verbatim (without outer `<>`).
+    generics_decl: String,
+    /// Just the parameter names, for the `for Name<...>` position and the
+    /// added `where` bounds.
+    params: Vec<String>,
+    kind: ItemKind,
+}
+
+// ---- parsing --------------------------------------------------------------
+
+struct Cursor {
+    toks: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Self {
+        Cursor { toks: ts.into_iter().collect(), pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    fn peek_ident(&self, word: &str) -> bool {
+        matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == word)
+    }
+
+    fn peek_punct(&self, ch: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ch)
+    }
+
+    /// Consume a run of `#[...]` attributes; return true if any of them is
+    /// `#[serde(skip)]`.
+    fn skip_attrs(&mut self) -> bool {
+        let mut skip = false;
+        while self.peek_punct('#') {
+            self.next();
+            if let Some(TokenTree::Group(g)) = self.next() {
+                if attr_is_serde_skip(&g.stream()) {
+                    skip = true;
+                }
+            }
+        }
+        skip
+    }
+
+    fn skip_visibility(&mut self) {
+        if self.peek_ident("pub") {
+            self.next();
+            if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                self.next();
+            }
+        }
+    }
+
+    fn expect_ident(&mut self) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("derive parser: expected identifier, got {other:?}"),
+        }
+    }
+
+    /// Consume a `<...>` generic parameter list if present; returns the inner
+    /// tokens verbatim and the parameter names.
+    fn take_generics(&mut self) -> (String, Vec<String>) {
+        if !self.peek_punct('<') {
+            return (String::new(), Vec::new());
+        }
+        self.next();
+        let mut depth = 1usize;
+        let mut inner: Vec<TokenTree> = Vec::new();
+        let mut params = Vec::new();
+        let mut expecting_param = true;
+        let mut after_tick = false;
+        while depth > 0 {
+            let t = self.next().expect("unbalanced generics");
+            if let TokenTree::Punct(p) = &t {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    ',' if depth == 1 => expecting_param = true,
+                    _ => {}
+                }
+                if p.as_char() == '\'' {
+                    after_tick = true;
+                    inner.push(t);
+                    continue;
+                }
+            } else if let TokenTree::Ident(i) = &t {
+                // Lifetime names (after `'`) and `const` are not type params.
+                if depth == 1 && expecting_param && !after_tick {
+                    let word = i.to_string();
+                    if word != "const" {
+                        params.push(word);
+                        expecting_param = false;
+                    }
+                }
+            }
+            after_tick = false;
+            inner.push(t);
+        }
+        let decl = tokens_to_string(&inner);
+        (decl, params)
+    }
+
+    /// Consume tokens of a type (or discriminant expression) until a
+    /// top-level `,` (angle-bracket aware). The comma is consumed.
+    fn skip_until_comma(&mut self) {
+        let mut angle = 0i32;
+        while let Some(t) = self.peek() {
+            match t {
+                TokenTree::Punct(p) => {
+                    let c = p.as_char();
+                    if c == '<' {
+                        angle += 1;
+                    } else if c == '>' {
+                        angle -= 1;
+                    } else if c == ',' && angle <= 0 {
+                        self.next();
+                        return;
+                    }
+                }
+                _ => {}
+            }
+            self.next();
+        }
+    }
+}
+
+fn attr_is_serde_skip(attr: &TokenStream) -> bool {
+    let toks: Vec<TokenTree> = attr.clone().into_iter().collect();
+    match toks.as_slice() {
+        [TokenTree::Ident(name), TokenTree::Group(args)] if name.to_string() == "serde" => args
+            .stream()
+            .into_iter()
+            .any(|t| matches!(t, TokenTree::Ident(i) if i.to_string() == "skip")),
+        _ => false,
+    }
+}
+
+fn tokens_to_string(toks: &[TokenTree]) -> String {
+    let mut s = String::new();
+    for t in toks {
+        s.push_str(&t.to_string());
+        s.push(' ');
+    }
+    s
+}
+
+fn parse_named_fields(group: TokenStream) -> Vec<Field> {
+    let mut c = Cursor::new(group);
+    let mut fields = Vec::new();
+    loop {
+        let skip = c.skip_attrs();
+        if c.at_end() {
+            break;
+        }
+        c.skip_visibility();
+        let name = c.expect_ident();
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("derive parser: expected `:` after field `{name}`, got {other:?}"),
+        }
+        c.skip_until_comma();
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+fn count_tuple_fields(group: TokenStream) -> usize {
+    let mut c = Cursor::new(group);
+    if c.at_end() {
+        return 0;
+    }
+    let mut n = 0;
+    while !c.at_end() {
+        // Leading attrs / visibility on each tuple field.
+        c.skip_attrs();
+        c.skip_visibility();
+        if c.at_end() {
+            break;
+        }
+        c.skip_until_comma();
+        n += 1;
+    }
+    n
+}
+
+fn parse_variants(group: TokenStream) -> Vec<Variant> {
+    let mut c = Cursor::new(group);
+    let mut variants = Vec::new();
+    loop {
+        c.skip_attrs();
+        if c.at_end() {
+            break;
+        }
+        let name = c.expect_ident();
+        let kind = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                c.next();
+                VariantKind::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                c.next();
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an optional `= discriminant` and the trailing comma.
+        c.skip_until_comma();
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut c = Cursor::new(input);
+    c.skip_attrs();
+    c.skip_visibility();
+    let keyword = c.expect_ident();
+    let name = c.expect_ident();
+    let (generics_decl, params) = c.take_generics();
+    // Skip an optional `where` clause (re-derived bounds are added fresh).
+    while c.peek_ident("where") {
+        c.next();
+        while let Some(t) = c.peek() {
+            match t {
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => break,
+                TokenTree::Punct(p) if p.as_char() == ';' => break,
+                _ => {
+                    c.next();
+                }
+            }
+        }
+    }
+    let kind = match keyword.as_str() {
+        "struct" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                ItemKind::TupleStruct { arity: count_tuple_fields(g.stream()) }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => ItemKind::UnitStruct,
+            other => panic!("derive parser: unexpected struct body {other:?}"),
+        },
+        "enum" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("derive parser: unexpected enum body {other:?}"),
+        },
+        other => panic!("derive supports structs and enums, got `{other}`"),
+    };
+    Item { name, generics_decl, params, kind }
+}
+
+// ---- rendering ------------------------------------------------------------
+
+fn impl_header(item: &Item, trait_name: &str) -> String {
+    let mut s = String::from("#[automatically_derived]\nimpl");
+    if !item.generics_decl.is_empty() {
+        s.push('<');
+        s.push_str(&item.generics_decl);
+        s.push('>');
+    }
+    s.push_str(&format!(" ::serde::{trait_name} for {}", item.name));
+    if !item.params.is_empty() {
+        s.push('<');
+        s.push_str(&item.params.join(", "));
+        s.push('>');
+    }
+    if !item.params.is_empty() {
+        let bounds: Vec<String> = item
+            .params
+            .iter()
+            .map(|p| format!("{p}: ::serde::{trait_name}"))
+            .collect();
+        s.push_str(&format!(" where {}", bounds.join(", ")));
+    }
+    s
+}
+
+fn render_serialize(item: &Item) -> String {
+    let body = match &item.kind {
+        ItemKind::NamedStruct(fields) => {
+            let mut pushes = String::new();
+            for f in fields.iter().filter(|f| !f.skip) {
+                pushes.push_str(&format!(
+                    "__pairs.push((::serde::Value::Str(::std::string::String::from(\"{n}\")), \
+                     ::serde::Serialize::to_value(&self.{n})));\n",
+                    n = f.name
+                ));
+            }
+            format!(
+                "let mut __pairs: ::std::vec::Vec<(::serde::Value, ::serde::Value)> = \
+                 ::std::vec::Vec::new();\n{pushes}::serde::Value::Map(__pairs)"
+            )
+        }
+        ItemKind::TupleStruct { arity: 1 } => {
+            "::serde::Serialize::to_value(&self.0)".to_string()
+        }
+        ItemKind::TupleStruct { arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+        }
+        ItemKind::UnitStruct => "::serde::Value::Null".to_string(),
+        ItemKind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "Self::{vn} => ::serde::Value::Str(::std::string::String::from(\"{vn}\")),\n"
+                    )),
+                    VariantKind::Tuple(arity) => {
+                        let binds: Vec<String> = (0..*arity).map(|i| format!("__f{i}")).collect();
+                        let payload = if *arity == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "Self::{vn}({}) => ::serde::Value::Map(::std::vec![\
+                             (::serde::Value::Str(::std::string::String::from(\"{vn}\")), {payload})]),\n",
+                            binds.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let pat: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        let items: Vec<String> = fields
+                            .iter()
+                            .filter(|f| !f.skip)
+                            .map(|f| {
+                                format!(
+                                    "(::serde::Value::Str(::std::string::String::from(\"{n}\")), \
+                                     ::serde::Serialize::to_value({n}))",
+                                    n = f.name
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "Self::{vn} {{ {pat} }} => ::serde::Value::Map(::std::vec![\
+                             (::serde::Value::Str(::std::string::String::from(\"{vn}\")), \
+                             ::serde::Value::Map(::std::vec![{items}]))]),\n",
+                            pat = pat.join(", "),
+                            items = items.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "{header} {{\n fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n",
+        header = impl_header(item, "Serialize")
+    )
+}
+
+fn named_fields_constructor(type_label: &str, fields: &[Field], source: &str) -> String {
+    let mut inits = String::new();
+    for f in fields {
+        if f.skip {
+            inits.push_str(&format!("{}: ::core::default::Default::default(),\n", f.name));
+        } else {
+            inits.push_str(&format!(
+                "{n}: match ::serde::Value::get_field({source}, \"{n}\") {{\n\
+                 ::std::option::Option::Some(__x) => ::serde::Deserialize::from_value(__x)?,\n\
+                 ::std::option::Option::None => return ::std::result::Result::Err(\
+                 ::serde::Error::custom(\"missing field `{n}` in {type_label}\")),\n}},\n",
+                n = f.name
+            ));
+        }
+    }
+    inits
+}
+
+fn render_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::NamedStruct(fields) => {
+            format!(
+                "::std::result::Result::Ok(Self {{\n{}}})",
+                named_fields_constructor(name, fields, "__v")
+            )
+        }
+        ItemKind::TupleStruct { arity: 1 } => {
+            "::std::result::Result::Ok(Self(::serde::Deserialize::from_value(__v)?))".to_string()
+        }
+        ItemKind::TupleStruct { arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::from_value(&__xs[{i}])?"))
+                .collect();
+            format!(
+                "match __v {{\n\
+                 ::serde::Value::Seq(__xs) if __xs.len() == {arity} => \
+                 ::std::result::Result::Ok(Self({items})),\n\
+                 _ => ::std::result::Result::Err(::serde::Error::custom(\
+                 \"expected sequence of length {arity} for {name}\")),\n}}",
+                items = items.join(", ")
+            )
+        }
+        ItemKind::UnitStruct => "::std::result::Result::Ok(Self)".to_string(),
+        ItemKind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => unit_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok(Self::{vn}),\n"
+                    )),
+                    VariantKind::Tuple(1) => tagged_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok(Self::{vn}(\
+                         ::serde::Deserialize::from_value(__payload)?)),\n"
+                    )),
+                    VariantKind::Tuple(arity) => {
+                        let items: Vec<String> = (0..*arity)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__xs[{i}])?"))
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => match __payload {{\n\
+                             ::serde::Value::Seq(__xs) if __xs.len() == {arity} => \
+                             ::std::result::Result::Ok(Self::{vn}({items})),\n\
+                             _ => ::std::result::Result::Err(::serde::Error::custom(\
+                             \"bad payload for variant {vn} of {name}\")),\n}},\n",
+                            items = items.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => ::std::result::Result::Ok(Self::{vn} {{\n{}}}),\n",
+                            named_fields_constructor(name, fields, "__payload")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __v {{\n\
+                 ::serde::Value::Str(__s) => match __s.as_str() {{\n{unit_arms}\
+                 __other => ::std::result::Result::Err(::serde::Error::custom(\
+                 ::std::format!(\"unknown variant `{{__other}}` of {name}\"))),\n}},\n\
+                 ::serde::Value::Map(__pairs) if __pairs.len() == 1 => {{\n\
+                 let (__tag, __payload) = &__pairs[0];\n\
+                 let ::serde::Value::Str(__tag) = __tag else {{\n\
+                 return ::std::result::Result::Err(::serde::Error::custom(\
+                 \"non-string enum tag for {name}\"));\n}};\n\
+                 match __tag.as_str() {{\n{tagged_arms}\
+                 __other => ::std::result::Result::Err(::serde::Error::custom(\
+                 ::std::format!(\"unknown variant `{{__other}}` of {name}\"))),\n}}\n}},\n\
+                 _ => ::std::result::Result::Err(::serde::Error::custom(\
+                 \"expected enum representation for {name}\")),\n}}"
+            )
+        }
+    };
+    format!(
+        "{header} {{\n fn from_value(__v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n}}\n",
+        header = impl_header(item, "Deserialize")
+    )
+}
