@@ -646,13 +646,34 @@ impl CollusionService {
             .collect();
 
         // Decision phase: plan every engaged member's day in parallel.
+        let decision_started = std::time::Instant::now();
         let plans = crate::engine::plan_parallel(
             &engaged,
             platform.config.worker_threads,
             |&(account, honeypot, _)| self.plan_member(day, account, honeypot),
         );
+        // Plan counts come from the merged (roster-order) list so the metric
+        // values are independent of the decision-phase shard count.
+        let slug = self.config.service.slug();
+        platform
+            .obs
+            .timings
+            .record(&format!("aas.{slug}.decision"), decision_started.elapsed().as_secs_f64());
+        let planned_requests: u64 = plans
+            .iter()
+            .map(|p| u64::from(p.like_requests) + u64::from(p.follow_requests) + u64::from(p.comment_requests))
+            .sum();
+        platform
+            .obs
+            .metrics
+            .add(&format!("aas.{slug}.engaged"), engaged.len() as u64);
+        platform
+            .obs
+            .metrics
+            .add(&format!("aas.{slug}.planned_requests"), planned_requests);
 
         // Apply phase: execute the plans serially, in roster order.
+        let apply_started = std::time::Instant::now();
         for plan in &plans {
             let account = plan.account;
             if plan.login {
@@ -873,6 +894,10 @@ impl CollusionService {
             }
         }
 
+        platform
+            .obs
+            .timings
+            .record(&format!("aas.{slug}.apply"), apply_started.elapsed().as_secs_f64());
         [like_stats, follow_stats]
     }
 

@@ -18,6 +18,12 @@
 //! and merges the per-shard plans back **in shard index order**, so the
 //! output is the roster order regardless of which worker finished first —
 //! the property that makes results byte-identical for any thread count.
+//!
+//! Observability rides the same contract: engines record plan-count metrics
+//! (`aas.<service>.engaged`, `aas.<service>.planned_*`) **from the merged
+//! list only**, never per worker, so the metrics snapshot is identical for
+//! any `FOOTSTEPS_THREADS`. Decision/apply wall-clock goes to the timings
+//! section, which is quarantined from deterministic output by design.
 
 /// Plan every item of `items`, using up to `threads` scoped worker threads.
 ///

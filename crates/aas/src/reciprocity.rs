@@ -549,6 +549,7 @@ impl ReciprocityService {
 
         // Decision phase: plan every engaged customer's day in parallel.
         let threads = platform.config.worker_threads;
+        let decision_started = std::time::Instant::now();
         let mut plans = crate::engine::plan_parallel(
             &engaged,
             threads,
@@ -556,9 +557,27 @@ impl ReciprocityService {
                 self.plan_customer(day, offer, account, mult, honeypot, requested)
             },
         );
+        // Metrics are recorded from the merged plan list (roster order), not
+        // per worker: the values must not depend on how the decision phase
+        // was sharded. Wall-clock goes to the quarantined timings section.
+        let slug = self.config.service.slug();
+        platform
+            .obs
+            .timings
+            .record(&format!("aas.{slug}.decision"), decision_started.elapsed().as_secs_f64());
+        let planned_batches: u64 = plans.iter().map(|p| p.batches.len() as u64).sum();
+        platform
+            .obs
+            .metrics
+            .add(&format!("aas.{slug}.engaged"), engaged.len() as u64);
+        platform
+            .obs
+            .metrics
+            .add(&format!("aas.{slug}.planned_batches"), planned_batches);
 
         // Apply phase: submit the plans serially, in roster order. All
         // platform mutation and controller feedback happens here.
+        let apply_started = std::time::Instant::now();
         for (plan, (_, _, _, requested)) in plans.iter_mut().zip(&engaged) {
             if plan.login_home {
                 platform.record_login(plan.account);
@@ -604,6 +623,10 @@ impl ReciprocityService {
                 self.observe_customer(plan.account, b.ty, day, &result);
             }
         }
+        platform
+            .obs
+            .timings
+            .record(&format!("aas.{slug}.apply"), apply_started.elapsed().as_secs_f64());
         stats
     }
 

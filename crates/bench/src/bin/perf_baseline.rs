@@ -5,20 +5,56 @@
 //! and the worker thread count, so engine changes can be compared against a
 //! committed number.
 //!
-//! Usage: `perf_baseline [seed] [output-path]`
+//! Usage: `perf_baseline [--json] [seed] [output-path]`
+//!
+//! With `--json` the report is serialized through serde and additionally
+//! embeds the study's deterministic metrics snapshot and the wall-clock
+//! span timings — the machine-readable form `scripts/ci.sh` consumes for
+//! its perf-regression gate. Without the flag the compact hand-formatted
+//! report of earlier revisions is kept byte-compatible.
 
 use std::time::Instant;
 
 use footsteps_core::{Scenario, Study};
+use footsteps_obs::{progress, MetricsSnapshot, TimingsSnapshot};
 use footsteps_sim::prelude::*;
+use serde::Serialize;
+
+/// The machine-readable (`--json`) report shape.
+#[derive(Serialize)]
+struct PerfReport {
+    bench: &'static str,
+    scenario: &'static str,
+    seed: u64,
+    threads: usize,
+    setup_secs: f64,
+    run_secs: f64,
+    days: u64,
+    days_per_sec: f64,
+    actions: u64,
+    actions_per_sec: f64,
+    /// Deterministic counters/histograms from the study run.
+    metrics: MetricsSnapshot,
+    /// Wall-clock spans (non-deterministic; for profiling only).
+    timings: TimingsSnapshot,
+}
 
 fn main() {
-    let mut args = std::env::args().skip(1);
-    let seed: u64 = args
+    let mut json = false;
+    let mut positional = Vec::new();
+    for arg in std::env::args().skip(1) {
+        if arg == "--json" {
+            json = true;
+        } else {
+            positional.push(arg);
+        }
+    }
+    let mut positional = positional.into_iter();
+    let seed: u64 = positional
         .next()
         .map(|s| s.parse().expect("seed must be an integer"))
         .unwrap_or(7);
-    let out_path = args
+    let out_path = positional
         .next()
         .unwrap_or_else(|| "BENCH_daily_engine.json".to_string());
 
@@ -41,12 +77,39 @@ fn main() {
         }
     }
 
-    let report = format!(
-        "{{\n  \"bench\": \"daily_engine\",\n  \"scenario\": \"smoke\",\n  \"seed\": {seed},\n  \"threads\": {threads},\n  \"setup_secs\": {build_secs:.3},\n  \"run_secs\": {run_secs:.3},\n  \"days\": {days},\n  \"days_per_sec\": {:.2},\n  \"actions\": {actions},\n  \"actions_per_sec\": {:.0}\n}}\n",
-        days as f64 / run_secs,
-        actions as f64 / run_secs,
-    );
+    let report = if json {
+        let report = PerfReport {
+            bench: "daily_engine",
+            scenario: "smoke",
+            seed,
+            threads,
+            setup_secs: build_secs,
+            run_secs,
+            days,
+            days_per_sec: days as f64 / run_secs,
+            actions,
+            actions_per_sec: actions as f64 / run_secs,
+            metrics: study.platform.obs.metrics.snapshot(),
+            timings: study.platform.obs.timings.snapshot(),
+        };
+        let mut body = serde_json::to_string_pretty(&report).expect("perf report serializes");
+        body.push('\n');
+        body
+    } else {
+        format!(
+            "{{\n  \"bench\": \"daily_engine\",\n  \"scenario\": \"smoke\",\n  \"seed\": {seed},\n  \"threads\": {threads},\n  \"setup_secs\": {build_secs:.3},\n  \"run_secs\": {run_secs:.3},\n  \"days\": {days},\n  \"days_per_sec\": {:.2},\n  \"actions\": {actions},\n  \"actions_per_sec\": {:.0}\n}}\n",
+            days as f64 / run_secs,
+            actions as f64 / run_secs,
+        )
+    };
     std::fs::write(&out_path, &report).expect("write report");
-    print!("{report}");
-    eprintln!("wrote {out_path}");
+    if json {
+        progress!(
+            "daily_engine: {days} days in {run_secs:.2}s ({:.2} days/sec)",
+            days as f64 / run_secs
+        );
+    } else {
+        print!("{report}");
+    }
+    progress!("wrote {out_path}");
 }

@@ -36,4 +36,8 @@ fn main() {
     println!("{}", render::figure07(&study));
     println!("{}", render::section51(&study));
     println!("{}", render::epilogue(&study));
+    println!("{}", render::obs(&study));
+    // Wall-clock spans are non-deterministic — keep them off stdout so
+    // redirecting this binary into EXPERIMENTS.md stays reproducible.
+    eprint!("{}", render::obs_timings(&study));
 }

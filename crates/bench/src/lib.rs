@@ -14,12 +14,14 @@
 pub mod render;
 
 use footsteps_core::{Phase, Scenario, Study};
+use footsteps_obs::progress;
 
 /// Environment knobs for the experiment binaries:
 ///
 /// * `FOOTSTEPS_SEED` — scenario seed (default 7);
 /// * `FOOTSTEPS_SMOKE=1` — use the compressed smoke scenario instead of the
-///   default 1/50-scale reproduction run (for quick iteration).
+///   default 1/50-scale reproduction run (for quick iteration);
+/// * `FOOTSTEPS_QUIET=1` — suppress `[footsteps]` progress lines.
 pub fn scenario_from_env() -> Scenario {
     let seed = std::env::var("FOOTSTEPS_SEED")
         .ok()
@@ -36,22 +38,22 @@ pub fn scenario_from_env() -> Scenario {
 pub fn study_to(phase: Phase) -> Study {
     let mut study = Study::new(scenario_from_env());
     if phase >= Phase::Characterized {
-        eprintln!(
-            "[footsteps] characterization: {} days …",
+        progress!(
+            "characterization: {} days …",
             study.scenario.characterization_days
         );
         study.run_characterization();
     }
     if phase >= Phase::NarrowDone {
-        eprintln!("[footsteps] narrow intervention: {} days …", study.scenario.narrow_days);
+        progress!("narrow intervention: {} days …", study.scenario.narrow_days);
         study.run_narrow();
     }
     if phase >= Phase::BroadDone {
-        eprintln!("[footsteps] broad intervention: {} days …", study.scenario.broad_days);
+        progress!("broad intervention: {} days …", study.scenario.broad_days);
         study.run_broad();
     }
     if phase >= Phase::Finished {
-        eprintln!("[footsteps] epilogue: {} days …", study.scenario.epilogue_days);
+        progress!("epilogue: {} days …", study.scenario.epilogue_days);
         study.run_epilogue();
     }
     study

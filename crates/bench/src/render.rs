@@ -540,6 +540,125 @@ pub fn detection_quality(study: &Study) -> String {
     t.render()
 }
 
+/// The observability report: deterministic counters from the study's obs
+/// registry (action mix by service, enforcement outcomes by phase, per-bin
+/// attributions, detection tallies). Byte-identical for any worker-thread
+/// count, so it can ride in EXPERIMENTS.md; the non-deterministic
+/// wall-clock spans live in [`obs_timings`], which `report_all` keeps off
+/// stdout.
+pub fn obs(study: &Study) -> String {
+    let snap = study.platform.obs.metrics.snapshot();
+    let mut out = String::new();
+
+    // --- attempted actions by service -----------------------------------
+    let mut t = Table::new(
+        "Obs — attempted actions by service (all phases)",
+        &["Service", "Like", "Follow", "Comment", "Post", "Unfollow"],
+    );
+    let rows: Vec<(String, &str)> = ServiceId::ALL
+        .iter()
+        .map(|s| (s.name().to_string(), s.slug()))
+        .chain(std::iter::once(("Organic".to_string(), "organic")))
+        .collect();
+    for (name, slug) in rows {
+        t.row(&[
+            name,
+            thousands(snap.counter(&format!("actions.{slug}.like"))),
+            thousands(snap.counter(&format!("actions.{slug}.follow"))),
+            thousands(snap.counter(&format!("actions.{slug}.comment"))),
+            thousands(snap.counter(&format!("actions.{slug}.post"))),
+            thousands(snap.counter(&format!("actions.{slug}.unfollow"))),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push('\n');
+
+    // --- enforcement outcomes by phase ----------------------------------
+    let phase_names: Vec<String> = snap.phases.iter().map(|(n, _)| n.clone()).collect();
+    let mut header: Vec<&str> = vec!["Counter"];
+    header.extend(phase_names.iter().map(String::as_str));
+    header.push("Total");
+    let mut t = Table::new("Obs — platform outcomes by phase", &header);
+    for key in [
+        "platform.outbound.delivered",
+        "platform.outbound.blocked",
+        "platform.outbound.deferred",
+        "platform.outbound.rate_limited",
+        "platform.outbound.edge_blocked",
+        "platform.inbound.delivered",
+        "platform.inbound.blocked",
+        "platform.inbound.deferred",
+        "platform.removed_follows",
+    ] {
+        let mut cells = vec![key.to_string()];
+        for (_, frame) in &snap.phases {
+            cells.push(thousands(frame.counters.get(key).copied().unwrap_or(0)));
+        }
+        cells.push(thousands(snap.counter(key)));
+        t.row(&cells);
+    }
+    out.push_str(&t.render());
+    out.push('\n');
+
+    // --- per-bin enforcement attribution (intervention phases) -----------
+    let bin_rows: Vec<(String, u64, u64, u64)> = (0..16u32)
+        .filter_map(|b| {
+            let del = snap.counter(&format!("enforce.bin{b}.delivered"));
+            let blk = snap.counter(&format!("enforce.bin{b}.blocked"));
+            let dfr = snap.counter(&format!("enforce.bin{b}.deferred"));
+            (del + blk + dfr > 0).then(|| (format!("bin {b}"), del, blk, dfr))
+        })
+        .collect();
+    if !bin_rows.is_empty() {
+        let mut t = Table::new(
+            "Obs — enforcement outcomes by intervention bin",
+            &["Bin", "Delivered", "Blocked", "Deferred"],
+        );
+        for (name, del, blk, dfr) in bin_rows {
+            t.row(&[name, thousands(del), thousands(blk), thousands(dfr)]);
+        }
+        out.push_str(&t.render());
+        out.push('\n');
+    }
+
+    // --- detection tallies ------------------------------------------------
+    let mut t = Table::new(
+        "Obs — detection pipeline tallies",
+        &["Counter", "Value"],
+    );
+    for (key, value) in snap.counters_with_prefix("detect.") {
+        t.row(&[key.to_string(), thousands(value)]);
+    }
+    out.push_str(&t.render());
+    out
+}
+
+/// The quarantined wall-clock span timings, rendered as a table (empty
+/// string when nothing was timed). Non-deterministic by nature — varies
+/// run to run and with the worker-thread count — so `report_all` prints
+/// it to stderr only, keeping stdout (and EXPERIMENTS.md regeneration)
+/// byte-reproducible.
+pub fn obs_timings(study: &Study) -> String {
+    let timings = study.platform.obs.timings.snapshot();
+    if timings.is_empty() {
+        return String::new();
+    }
+    let mut t = Table::new(
+        "Obs — wall-clock span timings (NON-DETERMINISTIC, excluded from digests)",
+        &["Span", "Count", "Total s", "Mean ms", "Max ms"],
+    );
+    for (name, s) in &timings.spans {
+        t.row(&[
+            name.clone(),
+            thousands(s.count),
+            format!("{:.3}", s.total_secs),
+            format!("{:.3}", s.mean_secs() * 1e3),
+            format!("{:.3}", s.max_secs * 1e3),
+        ]);
+    }
+    t.render()
+}
+
 /// The franchise note (§3.3): Instalex and Instazood share a parent.
 pub fn franchise_note() -> String {
     let (lo, hi) = catalog::FRANCHISE_FEE_RANGE_CENTS;
@@ -579,6 +698,8 @@ mod tests {
             section51(&study),
             epilogue(&study),
             detection_quality(&study),
+            obs(&study),
+            obs_timings(&study),
         ];
         for (i, s) in sections.iter().enumerate() {
             assert!(s.len() > 80, "section {i} suspiciously short: {s:?}");

@@ -7,6 +7,7 @@
 //! ```
 
 use footsteps_core::{results, Scenario, Study};
+use footsteps_obs::progress;
 use footsteps_sim::prelude::*;
 
 fn bar(v: f64, scale: f64) -> String {
@@ -16,9 +17,9 @@ fn bar(v: f64, scale: f64) -> String {
 
 fn main() {
     let mut study = Study::new(Scenario::default_scaled(7));
-    println!("characterizing ({} days)…", study.scenario.characterization_days);
+    progress!("characterizing ({} days)…", study.scenario.characterization_days);
     study.run_characterization();
-    println!("narrow intervention ({} days)…", study.scenario.narrow_days);
+    progress!("narrow intervention ({} days)…", study.scenario.narrow_days);
     study.run_narrow();
 
     let fig5 = results::figure5(&study);
@@ -49,7 +50,7 @@ fn main() {
         println!("  day {:>2}  {:>5.1}%  {}", i, 100.0 * v, bar(*v, 40.0));
     }
 
-    println!("\nbroad intervention ({} days)…", study.scenario.broad_days);
+    progress!("broad intervention ({} days)…", study.scenario.broad_days);
     study.run_broad();
     let fig7 = results::figure7(&study);
     println!("\nBoostgram eligible-follow share, 90% treated (delay week then block week):");
@@ -59,7 +60,7 @@ fn main() {
         println!("  day {:>3}  {:>5.1}%  {}{}", day, 100.0 * v, bar(*v, 100.0), marker);
     }
 
-    println!("\nepilogue ({} days)…", study.scenario.epilogue_days);
+    progress!("epilogue ({} days)…", study.scenario.epilogue_days);
     study.run_epilogue();
     let ep = results::epilogue(&study);
     println!("\noutcome of the arms race:");

@@ -7,6 +7,7 @@
 
 use footsteps_analysis::{pct, thousands, Table};
 use footsteps_core::{paper, results, Scenario, Study};
+use footsteps_obs::progress;
 use footsteps_sim::prelude::*;
 
 fn main() {
@@ -28,7 +29,7 @@ fn main() {
         study.framework.records().len()
     );
 
-    println!("running characterization ({} days)...", study.scenario.characterization_days);
+    progress!("running characterization ({} days)...", study.scenario.characterization_days);
     study.run_characterization();
 
     // Classifier quality against ground truth.
@@ -66,7 +67,7 @@ fn main() {
     }
     println!("{}", t.render());
 
-    println!("running narrow intervention ({} days)...", study.scenario.narrow_days);
+    progress!("running narrow intervention ({} days)...", study.scenario.narrow_days);
     study.run_narrow();
     let fig5 = results::figure5(&study);
     let late_start = study.timeline.broad_start.0.saturating_sub(7);
@@ -78,7 +79,7 @@ fn main() {
         fig5.control.mean_over(Day(late_start), study.timeline.broad_start),
     );
 
-    println!("\nrunning broad intervention ({} days)...", study.scenario.broad_days);
+    progress!("running broad intervention ({} days)...", study.scenario.broad_days);
     study.run_broad();
     let fig7 = results::figure7(&study);
     println!(
@@ -88,7 +89,7 @@ fn main() {
         pct(fig7.control.mean_over(study.timeline.broad_start, study.timeline.epilogue_start)),
     );
 
-    println!("\nrunning epilogue ({} days)...", study.scenario.epilogue_days);
+    progress!("running epilogue ({} days)...", study.scenario.epilogue_days);
     study.run_epilogue();
     let ep = results::epilogue(&study);
     println!(
@@ -99,5 +100,5 @@ fn main() {
         ep.insta_follows_back_home,
         ep.hublaagram_out_of_stock_on.map(|d| d.0),
     );
-    println!("\ndone.");
+    progress!("done.");
 }

@@ -9,10 +9,11 @@
 use footsteps_aas::catalog::fmt_dollars;
 use footsteps_analysis::{pct, ratio, thousands, Table};
 use footsteps_core::{results, Scenario, Study};
+use footsteps_obs::progress;
 
 fn main() {
     let mut study = Study::new(Scenario::default_scaled(7));
-    println!("characterizing ({} days)…\n", study.scenario.characterization_days);
+    progress!("characterizing ({} days)…", study.scenario.characterization_days);
     study.run_characterization();
 
     // --- Table 8: reciprocity services ------------------------------------

@@ -550,6 +550,13 @@ pub struct StudyResults {
     pub figures34: TargetingFigures,
     /// Per-service attributed customers, canonically sorted.
     pub classification: Vec<ClassificationSummary>,
+    /// Deterministic metrics snapshot from the study's obs registry.
+    /// `#[serde(skip)]`: the snapshot has its own serialization
+    /// ([`footsteps_obs::MetricsSnapshot::to_json`]) and is deliberately
+    /// excluded from `to_json()`/`digest()` so the golden digest predates
+    /// and outlives the obs layer.
+    #[serde(skip)]
+    pub metrics: Option<footsteps_obs::MetricsSnapshot>,
 }
 
 impl StudyResults {
@@ -577,6 +584,7 @@ impl StudyResults {
             figure2: figure2(study),
             figures34: figures34(study),
             classification,
+            metrics: Some(study.platform.obs.metrics.snapshot()),
         }
     }
 

@@ -239,6 +239,9 @@ impl Study {
     /// Day-0 setup: celebrities, baseline honeypots, customer stock,
     /// registration campaigns.
     fn setup(&mut self) {
+        // The metrics registry opens on an implicit "setup" frame, so
+        // everything below lands there without an explicit begin_phase.
+        let started = std::time::Instant::now();
         self.platform.begin_day(Day(0));
         self.framework.setup_celebrities(&mut self.platform, 25);
         self.framework
@@ -286,11 +289,16 @@ impl Study {
             ),
         ];
         self.campaigns = reports;
+        self.platform
+            .obs
+            .timings
+            .record("phase.setup", started.elapsed().as_secs_f64());
     }
 
     /// Advance the world through one day: day boundary, background traffic,
     /// then every service.
     fn step_day(&mut self, day: Day) {
+        let started = std::time::Instant::now();
         self.platform.begin_day(day);
         run_background_day(
             &mut self.platform,
@@ -308,32 +316,51 @@ impl Study {
             .run_day(&mut self.platform, &self.residential, &mut self.ledger, day);
         self.followersgratis
             .run_day(&mut self.platform, &self.residential, &mut self.ledger, day);
+        self.platform
+            .obs
+            .timings
+            .record("engine.step_day", started.elapsed().as_secs_f64());
     }
 
     /// Run the characterization phase (§4/§5) and build the detection
     /// pipeline from the calibration tail.
     pub fn run_characterization(&mut self) {
         assert_eq!(self.phase, Phase::Setup, "phases must run in order");
+        self.platform.obs.begin_phase("characterization");
+        let started = std::time::Instant::now();
         for day in Day::range(self.timeline.char_start, self.timeline.narrow_start) {
             self.step_day(day);
         }
         let (cal_start, cal_end) = self
             .timeline
             .calibration(self.scenario.calibration_tail_days);
-        self.pipeline = Some(DetectionPipeline::build_windows(
+        let build_started = std::time::Instant::now();
+        let pipeline = DetectionPipeline::build_windows(
             &self.framework,
             &self.platform,
             self.timeline.char_start,
             self.timeline.narrow_start,
             cal_start,
             cal_end,
-        ));
+        );
+        self.platform
+            .obs
+            .timings
+            .record("detect.pipeline_build", build_started.elapsed().as_secs_f64());
+        pipeline.record_obs(&mut self.platform.obs);
+        self.pipeline = Some(pipeline);
+        self.platform
+            .obs
+            .timings
+            .record("phase.characterization", started.elapsed().as_secs_f64());
         self.phase = Phase::Characterized;
     }
 
     /// Run the narrow intervention (§6.3).
     pub fn run_narrow(&mut self) {
         assert_eq!(self.phase, Phase::Characterized, "characterize first");
+        self.platform.obs.begin_phase("narrow");
+        let started = std::time::Instant::now();
         let thresholds = self.pipeline().thresholds.clone();
         let bins = self
             .narrow_plan
@@ -344,12 +371,18 @@ impl Study {
         for day in Day::range(self.timeline.narrow_start, self.timeline.broad_start) {
             self.step_day(day);
         }
+        self.platform
+            .obs
+            .timings
+            .record("phase.narrow", started.elapsed().as_secs_f64());
         self.phase = Phase::NarrowDone;
     }
 
     /// Run the broad intervention (§6.4): delay week, then block week.
     pub fn run_broad(&mut self) {
         assert_eq!(self.phase, Phase::NarrowDone, "narrow first");
+        self.platform.obs.begin_phase("broad");
+        let started = std::time::Instant::now();
         let thresholds = self.pipeline().thresholds.clone();
         for day in Day::range(self.timeline.broad_start, self.timeline.epilogue_start) {
             if let Some(bins) = self.broad_plan.bins_on(day) {
@@ -360,6 +393,10 @@ impl Study {
             }
             self.step_day(day);
         }
+        self.platform
+            .obs
+            .timings
+            .record("phase.broad", started.elapsed().as_secs_f64());
         self.phase = Phase::BroadDone;
     }
 
@@ -367,6 +404,8 @@ impl Study {
     /// likes, delay follows) during which the services adapt or fold.
     pub fn run_epilogue(&mut self) {
         assert_eq!(self.phase, Phase::BroadDone, "broad first");
+        self.platform.obs.begin_phase("epilogue");
+        let started = std::time::Instant::now();
         let thresholds = self.pipeline().thresholds.clone();
         self.platform.set_policy(Box::new(EpiloguePolicy::new(
             thresholds,
@@ -375,6 +414,10 @@ impl Study {
         for day in Day::range(self.timeline.epilogue_start, self.timeline.end) {
             self.step_day(day);
         }
+        self.platform
+            .obs
+            .timings
+            .record("phase.epilogue", started.elapsed().as_secs_f64());
         self.phase = Phase::Finished;
     }
 

@@ -66,7 +66,34 @@ impl DetectionPipeline {
     pub fn signature_of(&self, service: ServiceId) -> Option<&ServiceSignature> {
         self.signatures.iter().find(|s| s.service == service)
     }
+
+    /// Record what the pipeline learned into the observability registry:
+    /// per-service customer tallies, signature count, and the frozen
+    /// threshold table's shape (per-direction entry counts plus a histogram
+    /// of the threshold values themselves). Deterministic: everything here
+    /// derives from the pipeline's own frozen state.
+    pub fn record_obs(&self, rec: &mut footsteps_obs::Recorder) {
+        rec.metrics.add("detect.signatures", self.signatures.len() as u64);
+        for service in ServiceId::ALL {
+            rec.metrics.add(
+                &format!("detect.customers.{}", service.slug()),
+                self.classification.customer_count(service) as u64,
+            );
+        }
+        for (&(_asn, _action, direction), &threshold) in self.thresholds.iter() {
+            let key = match direction {
+                Direction::Outbound => "detect.thresholds.outbound",
+                Direction::Inbound => "detect.thresholds.inbound",
+            };
+            rec.metrics.incr(key);
+            rec.metrics
+                .observe("detect.threshold_value", THRESHOLD_VALUE_BOUNDS, u64::from(threshold));
+        }
+    }
 }
+
+/// Histogram bounds for frozen per-ASN daily thresholds (actions/day).
+const THRESHOLD_VALUE_BOUNDS: &[u64] = &[5, 10, 25, 50, 100, 250, 1000];
 
 #[cfg(test)]
 mod tests {
@@ -225,5 +252,22 @@ mod tests {
         assert!(total > 0);
         let rate = over as f64 / total as f64;
         assert!(rate <= 0.02, "false-positive rate {rate}");
+
+        // Obs: the pipeline can report what it learned, and the tallies
+        // agree with its own frozen state.
+        let mut rec = footsteps_obs::Recorder::new();
+        pipeline.record_obs(&mut rec);
+        let snap = rec.metrics.snapshot();
+        assert!(snap.counter("detect.customers.boostgram") > 10);
+        assert_eq!(
+            snap.counter("detect.signatures"),
+            pipeline.signatures.len() as u64
+        );
+        assert_eq!(
+            snap.counter("detect.thresholds.outbound") + snap.counter("detect.thresholds.inbound"),
+            pipeline.thresholds.len() as u64
+        );
+        let h = &snap.totals.histograms["detect.threshold_value"];
+        assert_eq!(h.count, pipeline.thresholds.len() as u64);
     }
 }

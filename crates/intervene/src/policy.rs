@@ -46,11 +46,14 @@ impl EnforcementPolicy for ExperimentPolicy {
             // enforcement target.
             return EnforcementDecision::allow_all(ctx.requested);
         };
+        let bin = crate::bins::bin_of(ctx.actor);
         let cm = self.bins.policy_for(ctx.actor).countermeasure();
         if cm == Countermeasure::None {
-            return EnforcementDecision::allow_all(ctx.requested);
+            // Control/untreated bins still tag the verdict so the obs layer
+            // can attribute the (unenforced) traffic to its bin.
+            return EnforcementDecision::allow_all(ctx.requested).with_bin(bin);
         }
-        EnforcementDecision::threshold(ctx.requested, ctx.prior_today, threshold, cm)
+        EnforcementDecision::threshold(ctx.requested, ctx.prior_today, threshold, cm).with_bin(bin)
     }
 }
 
@@ -80,14 +83,15 @@ impl EnforcementPolicy for EpiloguePolicy {
         let Some(threshold) = self.thresholds.get(ctx.asn, ctx.action, ctx.direction) else {
             return EnforcementDecision::allow_all(ctx.requested);
         };
+        let bin = crate::bins::bin_of(ctx.actor);
         if self.bins.policy_for(ctx.actor) == crate::bins::BinPolicy::Control {
-            return EnforcementDecision::allow_all(ctx.requested);
+            return EnforcementDecision::allow_all(ctx.requested).with_bin(bin);
         }
         let cm = match ctx.action {
             footsteps_sim::prelude::ActionType::Follow => Countermeasure::DelayRemoval,
             _ => Countermeasure::Block,
         };
-        EnforcementDecision::threshold(ctx.requested, ctx.prior_today, threshold, cm)
+        EnforcementDecision::threshold(ctx.requested, ctx.prior_today, threshold, cm).with_bin(bin)
     }
 }
 
@@ -171,6 +175,22 @@ mod tests {
             assert_eq!(d.pass, 50, "bin {bin}");
             assert_eq!(d.excess, Countermeasure::None);
         }
+    }
+
+    #[test]
+    fn enforcement_targets_carry_their_bin_tag() {
+        let p = policy();
+        let treated = account_in_bin(0);
+        let control = account_in_bin(2);
+        let d = p.evaluate(&ctx(treated, AsnId(5), ActionType::Follow, Direction::Outbound, 20, 50));
+        assert_eq!(d.bin, Some(0));
+        // Control traffic is untouched but still attributed to its bin.
+        let d = p.evaluate(&ctx(control, AsnId(5), ActionType::Follow, Direction::Outbound, 20, 50));
+        assert_eq!(d.bin, Some(2));
+        assert_eq!(d.pass, 50);
+        // Traffic outside the threshold table is not an experiment subject.
+        let d = p.evaluate(&ctx(treated, AsnId(9), ActionType::Follow, Direction::Outbound, 20, 50));
+        assert_eq!(d.bin, None);
     }
 
     #[test]

@@ -1,0 +1,85 @@
+//! footsteps-obs: observability substrate for the study pipeline.
+//!
+//! Three facilities with one hard rule between them:
+//!
+//! * [`MetricsRegistry`] — named counters, gauges, and fixed-bucket
+//!   histograms, grouped by study phase. **Deterministic**: values are a
+//!   pure function of the simulation decision stream, so the serialized
+//!   [`MetricsSnapshot`] is byte-identical across `FOOTSTEPS_THREADS`.
+//! * [`Timings`] — wall-clock span timers per phase / day / engine stage.
+//!   **Non-deterministic by nature**, therefore quarantined in a separate
+//!   [`TimingsSnapshot`] that must never feed golden digests.
+//! * [`Trace`] — a ring-buffered structured event stream, off unless
+//!   `FOOTSTEPS_TRACE` is set. Enabling it must not change simulation
+//!   behaviour, only record it.
+//!
+//! [`Recorder`] bundles the three for convenient ownership by the
+//! platform. The `progress!` macro (see [`progress`]) replaces ad-hoc
+//! status `eprintln!`s and respects `FOOTSTEPS_QUIET`.
+
+pub mod progress;
+pub mod registry;
+pub mod span;
+pub mod trace;
+
+pub use registry::{Frame, Histogram, MetricsRegistry, MetricsSnapshot};
+pub use span::{SpanStats, SpanTimer, Timings, TimingsSnapshot};
+pub use trace::{Trace, TraceEvent, TraceSnapshot, DEFAULT_TRACE_CAPACITY};
+
+/// The full observability kit: deterministic metrics, quarantined
+/// wall-clock timings, and the env-gated event trace.
+#[derive(Debug, Clone, Default)]
+pub struct Recorder {
+    pub metrics: MetricsRegistry,
+    pub timings: Timings,
+    pub trace: Trace,
+}
+
+impl Recorder {
+    /// A recorder with tracing disabled regardless of the environment.
+    pub fn new() -> Self {
+        Recorder::default()
+    }
+
+    /// A recorder whose trace honours `FOOTSTEPS_TRACE`.
+    pub fn from_env() -> Self {
+        Recorder {
+            metrics: MetricsRegistry::new(),
+            timings: Timings::new(),
+            trace: Trace::from_env(),
+        }
+    }
+
+    /// Open a new metrics phase frame and stamp it on the trace too.
+    pub fn begin_phase(&mut self, name: &str) {
+        self.metrics.begin_phase(name);
+    }
+
+    /// Advance the trace's day stamp.
+    pub fn set_day(&mut self, day: u32) {
+        self.trace.set_day(day);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recorder_default_trace_is_disabled() {
+        let rec = Recorder::new();
+        assert!(!rec.trace.is_enabled());
+    }
+
+    #[test]
+    fn recorder_phases_flow_through() {
+        let mut rec = Recorder::new();
+        rec.metrics.incr("pre");
+        rec.begin_phase("characterization");
+        rec.metrics.incr("post");
+        let snap = rec.metrics.snapshot();
+        assert_eq!(snap.phases.len(), 2);
+        assert_eq!(snap.counter("pre"), 1);
+        assert_eq!(snap.counter("post"), 1);
+    }
+}

@@ -1,0 +1,378 @@
+//! Deterministic metrics registry.
+//!
+//! The registry records named counters, gauges, and fixed-bucket histograms
+//! grouped into *phase frames*. A frame opens when the study enters a phase
+//! (`begin_phase`) and every subsequent record lands in it, so the snapshot
+//! preserves per-phase structure alongside cross-phase totals.
+//!
+//! Determinism contract: everything in here is a pure function of the
+//! simulation's decision stream. No wall-clock data, no thread identifiers,
+//! no allocation-order-dependent iteration — maps are `BTreeMap` so the
+//! serialized snapshot is byte-identical for identical runs regardless of
+//! `FOOTSTEPS_THREADS`. Wall-clock timing lives in [`crate::span`], which is
+//! deliberately a separate snapshot type.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A fixed-bucket histogram. `bounds` are inclusive upper bounds for the
+/// first `bounds.len()` buckets; the final bucket is an unbounded overflow
+/// bucket, so `buckets.len() == bounds.len() + 1`. All arithmetic saturates:
+/// a histogram never wraps, it pins at `u64::MAX`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Histogram {
+    pub bounds: Vec<u64>,
+    pub buckets: Vec<u64>,
+    pub count: u64,
+    pub sum: u64,
+}
+
+impl Histogram {
+    /// A histogram with the given inclusive upper bounds (must be sorted
+    /// ascending; an overflow bucket is appended automatically).
+    pub fn new(bounds: &[u64]) -> Self {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds must ascend");
+        Histogram {
+            bounds: bounds.to_vec(),
+            buckets: vec![0; bounds.len() + 1],
+            count: 0,
+            sum: 0,
+        }
+    }
+
+    /// Record one observation. Values above the last bound land in the
+    /// overflow bucket; zero lands in the first bucket whose bound is >= 0.
+    pub fn observe(&mut self, value: u64) {
+        let idx = match self.bounds.iter().position(|&b| value <= b) {
+            Some(i) => i,
+            None => self.bounds.len(), // overflow bucket
+        };
+        self.buckets[idx] = self.buckets[idx].saturating_add(1);
+        self.count = self.count.saturating_add(1);
+        self.sum = self.sum.saturating_add(value);
+    }
+
+    /// Merge another histogram with identical bounds into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        debug_assert_eq!(self.bounds, other.bounds, "cannot merge mismatched bounds");
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b = b.saturating_add(*o);
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
+    /// Mean observed value, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// One phase's worth of metrics. Counters saturate at `u64::MAX`; gauges
+/// hold the last set value.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Frame {
+    pub counters: BTreeMap<String, u64>,
+    pub gauges: BTreeMap<String, i64>,
+    pub histograms: BTreeMap<String, Histogram>,
+}
+
+impl Frame {
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    fn merge(&mut self, other: &Frame) {
+        for (k, v) in &other.counters {
+            let slot = self.counters.entry(k.clone()).or_insert(0);
+            *slot = slot.saturating_add(*v);
+        }
+        for (k, v) in &other.gauges {
+            // A later phase's gauge value wins in the totals view.
+            self.gauges.insert(k.clone(), *v);
+        }
+        for (k, h) in &other.histograms {
+            match self.histograms.get_mut(k) {
+                Some(mine) if mine.bounds == h.bounds => mine.merge(h),
+                _ => {
+                    self.histograms.insert(k.clone(), h.clone());
+                }
+            }
+        }
+    }
+}
+
+/// The live registry: an ordered list of `(phase name, frame)` pairs.
+/// Records always land in the most recent frame; a registry starts with an
+/// implicit `"setup"` frame so recording before the first `begin_phase` is
+/// well-defined.
+#[derive(Debug, Clone)]
+pub struct MetricsRegistry {
+    phases: Vec<(String, Frame)>,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        MetricsRegistry {
+            phases: vec![("setup".to_string(), Frame::default())],
+        }
+    }
+
+    /// Open a new phase frame. Subsequent records land here.
+    pub fn begin_phase(&mut self, name: &str) {
+        self.phases.push((name.to_string(), Frame::default()));
+    }
+
+    /// Name of the currently open phase.
+    pub fn current_phase(&self) -> &str {
+        &self.phases.last().expect("registry always has a frame").0
+    }
+
+    fn frame(&mut self) -> &mut Frame {
+        &mut self.phases.last_mut().expect("registry always has a frame").1
+    }
+
+    /// Add `n` to the named counter (saturating).
+    pub fn add(&mut self, key: &str, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let frame = self.frame();
+        let slot = match frame.counters.get_mut(key) {
+            Some(slot) => slot,
+            None => frame.counters.entry(key.to_string()).or_insert(0),
+        };
+        *slot = slot.saturating_add(n);
+    }
+
+    /// Increment the named counter by one.
+    pub fn incr(&mut self, key: &str) {
+        self.add(key, 1);
+    }
+
+    /// Set the named gauge to `value`.
+    pub fn gauge(&mut self, key: &str, value: i64) {
+        let frame = self.frame();
+        frame.gauges.insert(key.to_string(), value);
+    }
+
+    /// Record an observation into the named histogram, creating it with
+    /// `bounds` on first use.
+    pub fn observe(&mut self, key: &str, bounds: &[u64], value: u64) {
+        let frame = self.frame();
+        if !frame.histograms.contains_key(key) {
+            frame.histograms.insert(key.to_string(), Histogram::new(bounds));
+        }
+        frame
+            .histograms
+            .get_mut(key)
+            .expect("histogram just inserted")
+            .observe(value);
+    }
+
+    /// Freeze the registry into a serializable snapshot: the per-phase
+    /// frames (empty frames dropped) plus a cross-phase totals frame.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut totals = Frame::default();
+        let mut phases = Vec::new();
+        for (name, frame) in &self.phases {
+            totals.merge(frame);
+            if !frame.is_empty() {
+                phases.push((name.clone(), frame.clone()));
+            }
+        }
+        MetricsSnapshot { phases, totals }
+    }
+}
+
+/// Serializable, deterministic view of the registry. This is the payload
+/// attached to `StudyResults::metrics` and compared byte-for-byte across
+/// thread counts in the determinism suite.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// `(phase name, frame)` in study order; empty frames omitted.
+    pub phases: Vec<(String, Frame)>,
+    /// All phases merged: counters summed, gauges last-write-wins,
+    /// histograms merged bucket-wise.
+    pub totals: Frame,
+}
+
+impl MetricsSnapshot {
+    /// Pretty-printed JSON. Byte-identical for identical runs — the
+    /// determinism tests compare this string directly.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("metrics snapshot serializes")
+    }
+
+    /// Total for a counter across all phases (0 when absent).
+    pub fn counter(&self, key: &str) -> u64 {
+        self.totals.counters.get(key).copied().unwrap_or(0)
+    }
+
+    /// Counters in the totals frame whose key starts with `prefix`,
+    /// in sorted key order.
+    pub fn counters_with_prefix<'a>(
+        &'a self,
+        prefix: &'a str,
+    ) -> impl Iterator<Item = (&'a str, u64)> + 'a {
+        self.totals
+            .counters
+            .range(prefix.to_string()..)
+            .take_while(move |(k, _)| k.starts_with(prefix))
+            .map(|(k, v)| (k.as_str(), *v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_routes_zero_to_first_bucket() {
+        let mut h = Histogram::new(&[0, 10, 100]);
+        h.observe(0);
+        assert_eq!(h.buckets, vec![1, 0, 0, 0]);
+        assert_eq!((h.count, h.sum), (1, 0));
+    }
+
+    #[test]
+    fn histogram_zero_lands_in_first_covering_bucket_when_no_zero_bound() {
+        let mut h = Histogram::new(&[10, 100]);
+        h.observe(0);
+        assert_eq!(h.buckets, vec![1, 0, 0]);
+    }
+
+    #[test]
+    fn histogram_bounds_are_inclusive() {
+        let mut h = Histogram::new(&[10, 100]);
+        h.observe(10);
+        h.observe(11);
+        h.observe(100);
+        assert_eq!(h.buckets, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn histogram_overflow_lands_in_last_bucket() {
+        let mut h = Histogram::new(&[1, 2]);
+        h.observe(3);
+        h.observe(u64::MAX);
+        assert_eq!(h.buckets, vec![0, 0, 2]);
+        assert_eq!(h.count, 2);
+        // sum saturates rather than wrapping.
+        assert_eq!(h.sum, u64::MAX);
+    }
+
+    #[test]
+    fn histogram_empty_bounds_is_a_pure_overflow_tally() {
+        let mut h = Histogram::new(&[]);
+        h.observe(0);
+        h.observe(1_000_000);
+        assert_eq!(h.buckets, vec![2]);
+        assert_eq!(h.count, 2);
+    }
+
+    #[test]
+    fn histogram_saturates_instead_of_wrapping() {
+        let mut h = Histogram::new(&[10]);
+        h.count = u64::MAX;
+        h.buckets[0] = u64::MAX;
+        h.sum = u64::MAX - 1;
+        h.observe(5);
+        assert_eq!(h.count, u64::MAX);
+        assert_eq!(h.buckets[0], u64::MAX);
+        assert_eq!(h.sum, u64::MAX);
+    }
+
+    #[test]
+    fn histogram_mean() {
+        let mut h = Histogram::new(&[100]);
+        assert_eq!(h.mean(), 0.0);
+        h.observe(10);
+        h.observe(30);
+        assert_eq!(h.mean(), 20.0);
+    }
+
+    #[test]
+    fn counters_saturate() {
+        let mut reg = MetricsRegistry::new();
+        reg.add("x", u64::MAX - 1);
+        reg.add("x", 5);
+        assert_eq!(reg.snapshot().counter("x"), u64::MAX);
+    }
+
+    #[test]
+    fn zero_add_does_not_materialize_a_counter() {
+        let mut reg = MetricsRegistry::new();
+        reg.add("x", 0);
+        assert!(reg.snapshot().totals.counters.is_empty());
+    }
+
+    #[test]
+    fn phases_partition_counts_and_totals_merge() {
+        let mut reg = MetricsRegistry::new();
+        reg.incr("a");
+        reg.begin_phase("characterization");
+        reg.add("a", 2);
+        reg.incr("b");
+        let snap = reg.snapshot();
+        assert_eq!(snap.phases.len(), 2);
+        assert_eq!(snap.phases[0].0, "setup");
+        assert_eq!(snap.phases[0].1.counters["a"], 1);
+        assert_eq!(snap.phases[1].1.counters["a"], 2);
+        assert_eq!(snap.counter("a"), 3);
+        assert_eq!(snap.counter("b"), 1);
+    }
+
+    #[test]
+    fn empty_phases_are_dropped_from_snapshot() {
+        let mut reg = MetricsRegistry::new();
+        reg.begin_phase("idle");
+        reg.begin_phase("busy");
+        reg.incr("x");
+        let snap = reg.snapshot();
+        assert_eq!(snap.phases.len(), 1);
+        assert_eq!(snap.phases[0].0, "busy");
+    }
+
+    #[test]
+    fn gauges_last_write_wins_in_totals() {
+        let mut reg = MetricsRegistry::new();
+        reg.gauge("g", 3);
+        reg.begin_phase("later");
+        reg.gauge("g", 7);
+        let snap = reg.snapshot();
+        assert_eq!(snap.totals.gauges["g"], 7);
+    }
+
+    #[test]
+    fn snapshot_json_round_trips() {
+        let mut reg = MetricsRegistry::new();
+        reg.incr("a");
+        reg.observe("h", &[1, 10], 5);
+        let snap = reg.snapshot();
+        let json = snap.to_json();
+        let back: MetricsSnapshot = serde_json::from_str(&json).expect("parse");
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn counters_with_prefix_filters_and_sorts() {
+        let mut reg = MetricsRegistry::new();
+        reg.add("aas.z", 1);
+        reg.add("aas.a", 2);
+        reg.add("detect.x", 3);
+        let snap = reg.snapshot();
+        let got: Vec<_> = snap.counters_with_prefix("aas.").collect();
+        assert_eq!(got, vec![("aas.a", 2), ("aas.z", 1)]);
+    }
+}

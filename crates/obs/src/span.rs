@@ -1,0 +1,154 @@
+//! Wall-clock span timers.
+//!
+//! Timings are *observability-only*: they live in their own
+//! [`TimingsSnapshot`], are never folded into [`crate::MetricsSnapshot`],
+//! and must never reach `StudyResults::to_json()` or the golden digest —
+//! wall-clock varies run to run even when the simulation is bit-identical.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// Aggregated wall-clock stats for one named span.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct SpanStats {
+    /// How many times the span ran.
+    pub count: u64,
+    /// Total wall-clock seconds across all runs.
+    pub total_secs: f64,
+    /// Longest single run, in seconds.
+    pub max_secs: f64,
+}
+
+impl SpanStats {
+    pub fn mean_secs(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_secs / self.count as f64
+        }
+    }
+}
+
+/// Accumulator of span timings, keyed by span name.
+#[derive(Debug, Clone, Default)]
+pub struct Timings {
+    spans: BTreeMap<String, SpanStats>,
+}
+
+impl Timings {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Start a span; finish it with [`Timings::finish`].
+    pub fn start(&self, name: &'static str) -> SpanTimer {
+        SpanTimer {
+            name,
+            started: Instant::now(),
+        }
+    }
+
+    /// Record a finished span into the accumulator.
+    pub fn finish(&mut self, timer: SpanTimer) {
+        let secs = timer.started.elapsed().as_secs_f64();
+        self.record(timer.name, secs);
+    }
+
+    /// Record an externally measured duration under `name`.
+    pub fn record(&mut self, name: &str, secs: f64) {
+        let stats = self.spans.entry(name.to_string()).or_default();
+        stats.count += 1;
+        stats.total_secs += secs;
+        if secs > stats.max_secs {
+            stats.max_secs = secs;
+        }
+    }
+
+    /// Time a closure and record it under `name`.
+    pub fn time<R>(&mut self, name: &'static str, f: impl FnOnce() -> R) -> R {
+        let timer = self.start(name);
+        let out = f();
+        self.finish(timer);
+        out
+    }
+
+    pub fn snapshot(&self) -> TimingsSnapshot {
+        TimingsSnapshot {
+            spans: self.spans.clone(),
+        }
+    }
+}
+
+/// An in-flight span. Holds the start instant; hand it back to
+/// [`Timings::finish`] to record.
+#[derive(Debug)]
+pub struct SpanTimer {
+    name: &'static str,
+    started: Instant,
+}
+
+impl SpanTimer {
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+/// Serializable wall-clock report. Deliberately a different type from
+/// `MetricsSnapshot`: callers cannot accidentally mix the two.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TimingsSnapshot {
+    pub spans: BTreeMap<String, SpanStats>,
+}
+
+impl TimingsSnapshot {
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("timings snapshot serializes")
+    }
+
+    pub fn get(&self, name: &str) -> Option<&SpanStats> {
+        self.spans.get(name)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_accumulate_count_and_total() {
+        let mut t = Timings::new();
+        t.record("phase.x", 1.0);
+        t.record("phase.x", 3.0);
+        let snap = t.snapshot();
+        let s = snap.get("phase.x").unwrap();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.total_secs, 4.0);
+        assert_eq!(s.max_secs, 3.0);
+        assert_eq!(s.mean_secs(), 2.0);
+    }
+
+    #[test]
+    fn timer_round_trip_records_nonnegative_elapsed() {
+        let mut t = Timings::new();
+        let timer = t.start("unit");
+        assert_eq!(timer.name(), "unit");
+        t.finish(timer);
+        let snap = t.snapshot();
+        let s = snap.get("unit").unwrap();
+        assert_eq!(s.count, 1);
+        assert!(s.total_secs >= 0.0);
+    }
+
+    #[test]
+    fn time_closure_returns_value() {
+        let mut t = Timings::new();
+        let v = t.time("closure", || 41 + 1);
+        assert_eq!(v, 42);
+        assert_eq!(t.snapshot().get("closure").unwrap().count, 1);
+    }
+}

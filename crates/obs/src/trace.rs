@@ -1,0 +1,214 @@
+//! Structured event trace.
+//!
+//! A bounded ring buffer of compact [`TraceEvent`]s, off by default and
+//! enabled via `FOOTSTEPS_TRACE`:
+//!
+//! * unset, empty, `0`, or `off` — tracing disabled (every push is a no-op);
+//! * `1`, `true`, or `on` — enabled with the default capacity (4096 events);
+//! * any other integer `n` — enabled with capacity `n`.
+//!
+//! When the buffer is full the oldest event is evicted and `dropped` is
+//! incremented, so a trace always reports how much history it lost. The
+//! trace is observability-only: it never feeds `StudyResults` or digests,
+//! and enabling it must not perturb the simulation's decision stream.
+
+use serde::Serialize;
+use std::collections::VecDeque;
+
+/// Default ring capacity when `FOOTSTEPS_TRACE=1`.
+pub const DEFAULT_TRACE_CAPACITY: usize = 4096;
+
+/// One traced occurrence. Fields are deliberately plain integers plus a
+/// static kind tag so pushing an event never allocates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct TraceEvent {
+    /// Simulation day the event occurred on.
+    pub day: u32,
+    /// Static event kind, e.g. `"enforce.block"` or `"rate_limit"`.
+    pub kind: &'static str,
+    /// Primary subject (usually a raw account id).
+    pub subject: u64,
+    /// Event payload (requested count, threshold, bin index, ...).
+    pub value: u64,
+    /// Secondary payload (passed count, asn id, ...).
+    pub extra: u64,
+}
+
+/// Ring-buffered trace. Constructed via [`Trace::from_env`] in production
+/// paths; [`Trace::enabled_with`] exists for tests.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    events: VecDeque<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+    day: u32,
+}
+
+impl Trace {
+    /// A disabled trace: pushes are no-ops.
+    pub fn disabled() -> Self {
+        Trace::default()
+    }
+
+    /// An enabled trace with the given ring capacity.
+    pub fn enabled_with(capacity: usize) -> Self {
+        Trace {
+            events: VecDeque::with_capacity(capacity.min(DEFAULT_TRACE_CAPACITY)),
+            capacity: capacity.max(1),
+            dropped: 0,
+            day: 0,
+        }
+    }
+
+    /// Configure from the `FOOTSTEPS_TRACE` environment variable.
+    pub fn from_env() -> Self {
+        match std::env::var("FOOTSTEPS_TRACE") {
+            Ok(v) => Self::from_setting(&v),
+            Err(_) => Trace::disabled(),
+        }
+    }
+
+    /// Parse a `FOOTSTEPS_TRACE`-style setting string.
+    pub fn from_setting(value: &str) -> Self {
+        let v = value.trim();
+        if v.is_empty() || v == "0" || v.eq_ignore_ascii_case("off") || v.eq_ignore_ascii_case("false") {
+            return Trace::disabled();
+        }
+        if v == "1" || v.eq_ignore_ascii_case("on") || v.eq_ignore_ascii_case("true") {
+            return Trace::enabled_with(DEFAULT_TRACE_CAPACITY);
+        }
+        match v.parse::<usize>() {
+            Ok(n) if n > 0 => Trace::enabled_with(n),
+            _ => Trace::disabled(),
+        }
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Set the current simulation day stamped onto subsequent events.
+    pub fn set_day(&mut self, day: u32) {
+        self.day = day;
+    }
+
+    /// Push an event (no-op when disabled). Evicts the oldest event when
+    /// the ring is full.
+    pub fn push(&mut self, kind: &'static str, subject: u64, value: u64, extra: u64) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped = self.dropped.saturating_add(1);
+        }
+        self.events.push_back(TraceEvent {
+            day: self.day,
+            kind,
+            subject,
+            value,
+            extra,
+        });
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// How many events were evicted to make room.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Serializable view: retained events in arrival order plus the drop
+    /// count. (`TraceEvent` holds `&'static str` kinds, which the vendored
+    /// serde can serialize but not deserialize — the snapshot is write-only
+    /// by design.)
+    pub fn snapshot(&self) -> TraceSnapshot {
+        TraceSnapshot {
+            enabled: self.is_enabled(),
+            capacity: self.capacity,
+            dropped: self.dropped,
+            events: self.events.iter().copied().collect(),
+        }
+    }
+}
+
+/// Serializable trace report.
+#[derive(Debug, Clone, Serialize)]
+pub struct TraceSnapshot {
+    pub enabled: bool,
+    pub capacity: usize,
+    pub dropped: u64,
+    pub events: Vec<TraceEvent>,
+}
+
+impl TraceSnapshot {
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("trace snapshot serializes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_ignores_pushes() {
+        let mut t = Trace::disabled();
+        t.push("x", 1, 2, 3);
+        assert!(t.is_empty());
+        assert!(!t.is_enabled());
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let mut t = Trace::enabled_with(2);
+        t.set_day(3);
+        t.push("a", 1, 0, 0);
+        t.push("b", 2, 0, 0);
+        t.push("c", 3, 0, 0);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.dropped(), 1);
+        let kinds: Vec<_> = t.iter().map(|e| e.kind).collect();
+        assert_eq!(kinds, vec!["b", "c"]);
+        assert!(t.iter().all(|e| e.day == 3));
+    }
+
+    #[test]
+    fn settings_parse() {
+        assert!(!Trace::from_setting("").is_enabled());
+        assert!(!Trace::from_setting("0").is_enabled());
+        assert!(!Trace::from_setting("off").is_enabled());
+        assert!(!Trace::from_setting("junk").is_enabled());
+        assert!(Trace::from_setting("1").is_enabled());
+        assert!(Trace::from_setting("on").is_enabled());
+        assert!(Trace::from_setting("TRUE").is_enabled());
+        let t = Trace::from_setting("16");
+        assert!(t.is_enabled());
+        let mut t = t;
+        for i in 0..20 {
+            t.push("k", i, 0, 0);
+        }
+        assert_eq!(t.len(), 16);
+        assert_eq!(t.dropped(), 4);
+    }
+
+    #[test]
+    fn snapshot_serializes() {
+        let mut t = Trace::enabled_with(4);
+        t.push("enforce.block", 7, 10, 4);
+        let json = t.snapshot().to_json();
+        assert!(json.contains("enforce.block"));
+        assert!(json.contains("\"dropped\": 0"));
+    }
+}

@@ -71,6 +71,10 @@ pub struct EnforcementDecision {
     pub pass: u32,
     /// What happens to the remaining `requested - pass`.
     pub excess: Countermeasure,
+    /// Intervention bin that produced this verdict, when the policy assigns
+    /// accounts to experiment bins (§6.3). Observability-only: the platform
+    /// attributes enforcement outcomes per bin but never branches on it.
+    pub bin: Option<u32>,
 }
 
 impl EnforcementDecision {
@@ -79,6 +83,7 @@ impl EnforcementDecision {
         Self {
             pass: requested,
             excess: Countermeasure::None,
+            bin: None,
         }
     }
 
@@ -89,7 +94,14 @@ impl EnforcementDecision {
         Self {
             pass: requested.min(room),
             excess: cm,
+            bin: None,
         }
+    }
+
+    /// Tag the verdict with the experiment bin that produced it.
+    pub fn with_bin(mut self, bin: u32) -> Self {
+        self.bin = Some(bin);
+        self
     }
 }
 
@@ -154,5 +166,14 @@ mod tests {
     fn threshold_decision_all_below() {
         let d = EnforcementDecision::threshold(10, 0, 100, Countermeasure::Block);
         assert_eq!(d.pass, 10);
+    }
+
+    #[test]
+    fn bin_tag_is_carried_without_changing_the_verdict() {
+        let plain = EnforcementDecision::threshold(50, 80, 100, Countermeasure::Block);
+        let tagged = EnforcementDecision::threshold(50, 80, 100, Countermeasure::Block).with_bin(3);
+        assert_eq!(tagged.bin, Some(3));
+        assert_eq!((tagged.pass, tagged.excess), (plain.pass, plain.excess));
+        assert_eq!(plain.bin, None);
     }
 }

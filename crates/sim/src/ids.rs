@@ -103,6 +103,17 @@ impl ServiceId {
         }
     }
 
+    /// Lowercase identifier for metric keys (`actions.instalex.follow`).
+    pub fn slug(self) -> &'static str {
+        match self {
+            ServiceId::Instalex => "instalex",
+            ServiceId::Instazood => "instazood",
+            ServiceId::Boostgram => "boostgram",
+            ServiceId::Hublaagram => "hublaagram",
+            ServiceId::Followersgratis => "followersgratis",
+        }
+    }
+
     /// `true` if the service uses the reciprocity-abuse technique (§3.1).
     pub fn is_reciprocity(self) -> bool {
         matches!(

@@ -279,6 +279,11 @@ pub struct Platform {
     pub log: ActionLog,
     /// Tuning knobs.
     pub config: PlatformConfig,
+    /// Observability kit: deterministic metrics, wall-clock timings, and the
+    /// `FOOTSTEPS_TRACE`-gated event trace. Metrics are recorded only on the
+    /// serial mutation paths below, so the snapshot is identical for any
+    /// decision-phase worker count.
+    pub obs: footsteps_obs::Recorder,
     policy: Box<dyn EnforcementPolicy>,
     oauth_quota: DenseWindowLimiter,
     /// Per-IP delivered volume, indexed by `ip - IP_BASE`, day-stamped.
@@ -306,6 +311,7 @@ impl Platform {
             asns,
             log: ActionLog::new(),
             config,
+            obs: footsteps_obs::Recorder::from_env(),
             policy: Box::new(NoEnforcement),
             oauth_quota: public_api_quota(),
             ip_volume: Vec::new(),
@@ -360,6 +366,7 @@ impl Platform {
     /// matured organic reciprocations.
     pub fn begin_day(&mut self, day: Day) {
         self.clock.advance_to_day(day);
+        self.obs.set_day(day.0);
         self.apply_removals(day);
         self.apply_responses(day);
         self.apply_event_responses(day);
@@ -476,6 +483,12 @@ impl Platform {
             return result;
         }
         self.note_ground_truth(req.actor, req.service);
+        self.obs
+            .metrics
+            .add(mix_key(req.service, req.action), u64::from(req.count));
+        self.obs
+            .metrics
+            .observe("platform.batch_size", BATCH_SIZE_BOUNDS, u64::from(req.count));
 
         let mut remaining = req.count;
 
@@ -496,6 +509,15 @@ impl Platform {
                     refused,
                 );
                 result.rate_limited = refused;
+                self.obs
+                    .metrics
+                    .add("platform.outbound.rate_limited", u64::from(refused));
+                self.obs.trace.push(
+                    "rate_limit",
+                    req.actor.0 as u64,
+                    u64::from(refused),
+                    u64::from(granted),
+                );
             }
             remaining = granted;
         }
@@ -519,6 +541,15 @@ impl Platform {
             );
             result.blocked += edge_blocked;
             self.metrics_mut(day).edge_blocked += edge_blocked;
+            self.obs
+                .metrics
+                .add("platform.outbound.edge_blocked", u64::from(edge_blocked));
+            self.obs.trace.push(
+                "edge_block",
+                req.actor.0 as u64,
+                u64::from(edge_blocked),
+                u64::from(req.ip.0),
+            );
         }
         remaining = edge_pass;
         if remaining == 0 {
@@ -542,6 +573,7 @@ impl Platform {
             requested: remaining,
         });
         let (pass, excess, cm) = split_decision(decision, remaining, req.action);
+        self.record_enforcement(Direction::Outbound, decision.bin, req.actor, pass, excess, cm);
 
         // Record and apply the passing portion.
         if pass > 0 {
@@ -659,6 +691,7 @@ impl Platform {
             requested,
         });
         let (pass, excess, cm) = split_decision(decision, requested, ty);
+        self.record_enforcement(Direction::Inbound, decision.bin, target, pass, excess, cm);
         let (standing, blocked, deferred) = match cm {
             Countermeasure::None => (pass + excess, 0, 0),
             Countermeasure::Block => (pass, excess, 0),
@@ -745,11 +778,16 @@ impl Platform {
         let now = self.clock.now();
         let day = now.day();
         self.note_ground_truth(req.actor, req.service);
+        self.obs.metrics.incr(mix_key(req.service, req.action));
 
         // 1. Public-API quota.
         if req.fingerprint == ClientFingerprint::PublicApi
             && self.oauth_quota.acquire(req.actor.index(), now, 1) == 0
         {
+            self.obs.metrics.incr("platform.outbound.rate_limited");
+            self.obs
+                .trace
+                .push("rate_limit", req.actor.0 as u64, 1, 0);
             self.finish_event(req, now, ActionOutcome::RateLimited);
             return ActionOutcome::RateLimited;
         }
@@ -759,6 +797,10 @@ impl Platform {
         let used = self.ip_used_mut(req.ip, day);
         if *used >= cap {
             self.metrics_mut(day).edge_blocked += 1;
+            self.obs.metrics.incr("platform.outbound.edge_blocked");
+            self.obs
+                .trace
+                .push("edge_block", req.actor.0 as u64, 1, u64::from(req.ip.0));
             self.finish_event(req, now, ActionOutcome::Blocked);
             return ActionOutcome::Blocked;
         }
@@ -780,7 +822,8 @@ impl Platform {
             prior_today: prior,
             requested: 1,
         });
-        let (pass, _excess, cm) = split_decision(decision, 1, req.action);
+        let (pass, excess, cm) = split_decision(decision, 1, req.action);
+        self.record_enforcement(Direction::Outbound, decision.bin, req.actor, pass, excess, cm);
         let outcome = if pass == 1 {
             ActionOutcome::Delivered
         } else {
@@ -799,6 +842,62 @@ impl Platform {
     }
 
     // ----- internals -------------------------------------------------------
+
+    /// Record the enforcement-stage verdict for a submission into the obs
+    /// kit: delivered/blocked/deferred counters (scoped by direction), the
+    /// per-bin attribution when the policy tagged a bin, and a trace event
+    /// for anything the countermeasure actually touched.
+    fn record_enforcement(
+        &mut self,
+        direction: Direction,
+        bin: Option<u32>,
+        actor: AccountId,
+        pass: u32,
+        excess: u32,
+        cm: Countermeasure,
+    ) {
+        let (delivered, blocked, deferred) = match cm {
+            Countermeasure::None => (pass + excess, 0, 0),
+            Countermeasure::Block => (pass, excess, 0),
+            Countermeasure::DelayRemoval => (pass, 0, excess),
+        };
+        let (k_del, k_blk, k_def) = match direction {
+            Direction::Outbound => (
+                "platform.outbound.delivered",
+                "platform.outbound.blocked",
+                "platform.outbound.deferred",
+            ),
+            Direction::Inbound => (
+                "platform.inbound.delivered",
+                "platform.inbound.blocked",
+                "platform.inbound.deferred",
+            ),
+        };
+        let m = &mut self.obs.metrics;
+        m.add(k_del, u64::from(delivered));
+        m.add(k_blk, u64::from(blocked));
+        m.add(k_def, u64::from(deferred));
+        if let Some(b) = bin {
+            let keys = bin_keys(b);
+            m.add(keys.delivered, u64::from(delivered));
+            m.add(keys.blocked, u64::from(blocked));
+            m.add(keys.deferred, u64::from(deferred));
+            self.obs
+                .trace
+                .push("intervene.bin", actor.0 as u64, u64::from(b), 0);
+        }
+        let bin_tag = bin.map_or(u64::MAX, u64::from);
+        if blocked > 0 {
+            self.obs
+                .trace
+                .push("enforce.block", actor.0 as u64, u64::from(blocked), bin_tag);
+        }
+        if deferred > 0 {
+            self.obs
+                .trace
+                .push("enforce.defer", actor.0 as u64, u64::from(deferred), bin_tag);
+        }
+    }
 
     fn note_ground_truth(&mut self, actor: AccountId, service: Option<ServiceId>) {
         if let Some(s) = service {
@@ -1052,6 +1151,10 @@ impl Platform {
         }
         if removed > 0 {
             self.metrics_mut(day).removed_follows += removed;
+            self.obs
+                .metrics
+                .add("platform.removed_follows", u64::from(removed));
+            self.obs.trace.push("removal", 0, u64::from(removed), 0);
         }
     }
 
@@ -1078,6 +1181,101 @@ impl Platform {
         if self.graph.is_tracked(id) {
             self.graph.purge_account(&mut self.accounts, id);
         }
+    }
+}
+
+/// Histogram bounds for `platform.batch_size` (actions per submitted batch).
+const BATCH_SIZE_BOUNDS: &[u64] = &[1, 5, 10, 25, 50, 100, 250];
+
+/// Static metric key for the per-service action mix, `actions.<slug>.<action>`
+/// (`organic` when no service drove the submission). A lookup table rather
+/// than `format!` because this sits on the hottest path in the simulation.
+fn mix_key(service: Option<ServiceId>, action: ActionType) -> &'static str {
+    // Row order follows `ServiceId::index()`; the sixth row is organic.
+    // Column order follows `ActionType::index()`.
+    const KEYS: [[&str; ActionType::COUNT]; 6] = [
+        [
+            "actions.instalex.like",
+            "actions.instalex.follow",
+            "actions.instalex.comment",
+            "actions.instalex.post",
+            "actions.instalex.unfollow",
+        ],
+        [
+            "actions.instazood.like",
+            "actions.instazood.follow",
+            "actions.instazood.comment",
+            "actions.instazood.post",
+            "actions.instazood.unfollow",
+        ],
+        [
+            "actions.boostgram.like",
+            "actions.boostgram.follow",
+            "actions.boostgram.comment",
+            "actions.boostgram.post",
+            "actions.boostgram.unfollow",
+        ],
+        [
+            "actions.hublaagram.like",
+            "actions.hublaagram.follow",
+            "actions.hublaagram.comment",
+            "actions.hublaagram.post",
+            "actions.hublaagram.unfollow",
+        ],
+        [
+            "actions.followersgratis.like",
+            "actions.followersgratis.follow",
+            "actions.followersgratis.comment",
+            "actions.followersgratis.post",
+            "actions.followersgratis.unfollow",
+        ],
+        [
+            "actions.organic.like",
+            "actions.organic.follow",
+            "actions.organic.comment",
+            "actions.organic.post",
+            "actions.organic.unfollow",
+        ],
+    ];
+    let row = service.map_or(5, ServiceId::index);
+    KEYS[row][action.index()]
+}
+
+/// Per-bin enforcement counter keys.
+struct BinKeys {
+    delivered: &'static str,
+    blocked: &'static str,
+    deferred: &'static str,
+}
+
+/// Static per-bin keys for the experiment's ten bins (§6.3); bins outside
+/// that layout fold into a shared overflow key rather than allocating.
+fn bin_keys(bin: u32) -> BinKeys {
+    macro_rules! bin_row {
+        ($n:literal) => {
+            BinKeys {
+                delivered: concat!("enforce.bin", $n, ".delivered"),
+                blocked: concat!("enforce.bin", $n, ".blocked"),
+                deferred: concat!("enforce.bin", $n, ".deferred"),
+            }
+        };
+    }
+    match bin {
+        0 => bin_row!(0),
+        1 => bin_row!(1),
+        2 => bin_row!(2),
+        3 => bin_row!(3),
+        4 => bin_row!(4),
+        5 => bin_row!(5),
+        6 => bin_row!(6),
+        7 => bin_row!(7),
+        8 => bin_row!(8),
+        9 => bin_row!(9),
+        _ => BinKeys {
+            delivered: "enforce.bin_other.delivered",
+            blocked: "enforce.bin_other.blocked",
+            deferred: "enforce.bin_other.deferred",
+        },
     }
 }
 
@@ -1240,6 +1438,56 @@ mod tests {
         let r = p.submit_batch(batch(a, ActionType::Like, 50, PoolStats::INERT));
         assert_eq!(r.delivered, 50, "likes cannot be delay-removed");
         assert_eq!(r.deferred, 0);
+    }
+
+    #[test]
+    fn obs_counters_attribute_enforcement_and_action_mix() {
+        let mut p = platform();
+        p.obs.trace = footsteps_obs::Trace::enabled_with(64);
+        let a = organic(&mut p, ReciprocityProfile::SILENT);
+        p.set_policy(Box::new(FixedThreshold {
+            threshold: 30,
+            cm: Countermeasure::Block,
+        }));
+        p.begin_day(Day(0));
+        p.submit_batch(batch(a, ActionType::Follow, 50, PoolStats::INERT));
+        let snap = p.obs.metrics.snapshot();
+        assert_eq!(snap.counter("actions.boostgram.follow"), 50);
+        assert_eq!(snap.counter("platform.outbound.delivered"), 30);
+        assert_eq!(snap.counter("platform.outbound.blocked"), 20);
+        assert_eq!(snap.counter("platform.outbound.deferred"), 0);
+        let h = &snap.totals.histograms["platform.batch_size"];
+        assert_eq!(h.count, 1);
+        assert_eq!(h.sum, 50);
+        let kinds: Vec<_> = p.obs.trace.iter().map(|e| e.kind).collect();
+        assert_eq!(kinds, vec!["enforce.block"]);
+    }
+
+    struct BinTagged(FixedThreshold);
+
+    impl EnforcementPolicy for BinTagged {
+        fn evaluate(&self, ctx: &EnforcementContext) -> EnforcementDecision {
+            self.0.evaluate(ctx).with_bin(4)
+        }
+    }
+
+    #[test]
+    fn obs_counters_attribute_per_bin_outcomes() {
+        let mut p = platform();
+        let a = organic(&mut p, ReciprocityProfile::SILENT);
+        p.set_policy(Box::new(BinTagged(FixedThreshold {
+            threshold: 10,
+            cm: Countermeasure::DelayRemoval,
+        })));
+        p.begin_day(Day(0));
+        p.submit_batch(batch(a, ActionType::Follow, 50, PoolStats::INERT));
+        let snap = p.obs.metrics.snapshot();
+        assert_eq!(snap.counter("enforce.bin4.delivered"), 10);
+        assert_eq!(snap.counter("enforce.bin4.deferred"), 40);
+        assert_eq!(snap.counter("enforce.bin4.blocked"), 0);
+        // Next day the deferred follows are removed and counted.
+        p.begin_day(Day(1));
+        assert_eq!(p.obs.metrics.snapshot().counter("platform.removed_follows"), 40);
     }
 
     #[test]

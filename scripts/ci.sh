@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Offline CI gate: release build, full test suite, and the engine perf
-# baseline, with warnings denied. Uses only vendored dependencies — safe
-# to run without network access.
+# Offline CI gate: release build, full test suite, the engine perf
+# baseline, and a perf-regression check against the committed baseline,
+# with warnings denied. Uses only vendored dependencies — safe to run
+# without network access.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -15,6 +16,31 @@ echo "== test =="
 cargo test -q
 
 echo "== perf baseline (smoke scenario) =="
-cargo run --release -p footsteps-bench --bin perf_baseline -- 7 /tmp/BENCH_daily_engine.ci.json
+cargo run --release -p footsteps-bench --bin perf_baseline -- --json 7 /tmp/BENCH_daily_engine.ci.json
+
+echo "== perf regression gate =="
+# Fail if fresh throughput drops below TOLERANCE x the committed baseline.
+BASELINE_FILE="BENCH_daily_engine.baseline.json"
+FRESH_FILE="/tmp/BENCH_daily_engine.ci.json"
+TOLERANCE="${FOOTSTEPS_PERF_TOLERANCE:-0.85}"
+
+extract_days_per_sec() {
+  sed -n 's/.*"days_per_sec": *\([0-9.]*\).*/\1/p' "$1" | head -n 1
+}
+
+baseline=$(extract_days_per_sec "$BASELINE_FILE")
+fresh=$(extract_days_per_sec "$FRESH_FILE")
+if [ -z "$baseline" ] || [ -z "$fresh" ]; then
+  echo "perf gate: could not extract days_per_sec (baseline='$baseline', fresh='$fresh')" >&2
+  exit 1
+fi
+echo "baseline: $baseline days/sec ($BASELINE_FILE)"
+echo "fresh:    $fresh days/sec ($FRESH_FILE)"
+if ! awk -v f="$fresh" -v b="$baseline" -v t="$TOLERANCE" \
+    'BEGIN { exit !(f >= t * b) }'; then
+  echo "perf gate: FAIL — $fresh < $TOLERANCE x $baseline days/sec" >&2
+  exit 1
+fi
+echo "perf gate: OK ($fresh >= $TOLERANCE x $baseline days/sec)"
 
 echo "CI OK"

@@ -75,6 +75,49 @@ fn smoke_results_match_recorded_digest() {
 const GOLDEN_SMOKE_DIGEST: u64 = 0xce8a_eb34_fb9f_e096;
 
 #[test]
+fn metrics_snapshot_is_byte_identical_across_worker_threads() {
+    // The obs layer rides the same two-phase contract: counters are
+    // recorded on the serial apply path or from the merged (roster-order)
+    // plan list, never per worker, so the snapshot JSON cannot depend on
+    // the shard count.
+    let one = results_with_threads(7, 1).metrics.expect("metrics collected");
+    let two = results_with_threads(7, 2).metrics.expect("metrics collected");
+    let eight = results_with_threads(7, 8).metrics.expect("metrics collected");
+    let json = one.to_json();
+    assert!(json.contains("platform.outbound.delivered"), "snapshot is non-trivial");
+    assert_eq!(json, two.to_json(), "1 vs 2 worker threads");
+    assert_eq!(json, eight.to_json(), "1 vs 8 worker threads");
+}
+
+#[test]
+fn golden_digest_is_independent_of_tracing() {
+    // Tracing (and the rest of the obs layer) must never leak into the
+    // deterministic study results: run the same study with the event ring
+    // force-enabled and check the digest against the recorded golden value.
+    let mut scenario = Scenario::smoke(7);
+    scenario.worker_threads = 1;
+    let mut study = Study::new(scenario);
+    // Set the ring directly rather than via FOOTSTEPS_TRACE — env vars are
+    // process-global and would race with other tests in this binary.
+    study.platform.obs.trace = footsteps_obs::Trace::enabled_with(1024);
+    study.run_characterization();
+    let results = results::StudyResults::collect(&study);
+    assert_eq!(
+        results.digest(),
+        GOLDEN_SMOKE_DIGEST,
+        "enabling the obs trace ring changed the deterministic results"
+    );
+    // Continue into the narrow intervention (where enforcement actually
+    // fires) purely to confirm the ring captures events when enabled.
+    study.run_narrow();
+    let trace = study.platform.obs.trace.snapshot();
+    assert!(
+        !trace.events.is_empty(),
+        "the enabled ring should have captured enforcement/bin events"
+    );
+}
+
+#[test]
 fn series_are_deterministic_through_interventions() {
     let run = |seed: u64| {
         let mut study = Study::new(Scenario::smoke(seed));
