@@ -148,6 +148,7 @@ struct MemberPlan {
 pub const ADS_ACCOUNT: AccountId = AccountId(u32::MAX);
 
 /// A running collusion-network service.
+#[derive(Debug)]
 pub struct CollusionService {
     config: CollusionConfig,
     customers: CustomerBook,
@@ -303,6 +304,7 @@ impl CollusionService {
 
     /// Number of no-outbound (exempt) customers.
     pub fn no_outbound_count(&self) -> usize {
+        // footsteps-lint: allow(nondet-iter) — order-insensitive count
         self.roles.values().filter(|r| r.no_outbound).count()
     }
 
@@ -505,6 +507,7 @@ impl CollusionService {
     fn process_renewals(&mut self, ledger: &mut PaymentLedger, day: Day) {
         if self.out_of_stock {
             // No new payments accepted; subscriptions lapse back to free.
+            // footsteps-lint: allow(nondet-iter) — each role lapses independently; no cross-role order dependence
             for role in self.roles.values_mut() {
                 if role.monthly_tier.is_some() && day >= role.next_renewal {
                     role.monthly_tier = None;
@@ -646,7 +649,7 @@ impl CollusionService {
             .collect();
 
         // Decision phase: plan every engaged member's day in parallel.
-        let decision_started = std::time::Instant::now();
+        let decision_watch = footsteps_obs::Stopwatch::start();
         let plans = crate::engine::plan_parallel(
             &engaged,
             platform.config.worker_threads,
@@ -658,7 +661,7 @@ impl CollusionService {
         platform
             .obs
             .timings
-            .record(&format!("aas.{slug}.decision"), decision_started.elapsed().as_secs_f64());
+            .record(&format!("aas.{slug}.decision"), decision_watch.elapsed_secs());
         let planned_requests: u64 = plans
             .iter()
             .map(|p| u64::from(p.like_requests) + u64::from(p.follow_requests) + u64::from(p.comment_requests))
@@ -673,7 +676,7 @@ impl CollusionService {
             .add(&format!("aas.{slug}.planned_requests"), planned_requests);
 
         // Apply phase: execute the plans serially, in roster order.
-        let apply_started = std::time::Instant::now();
+        let apply_watch = footsteps_obs::Stopwatch::start();
         for plan in &plans {
             let account = plan.account;
             if plan.login {
@@ -897,7 +900,7 @@ impl CollusionService {
         platform
             .obs
             .timings
-            .record(&format!("aas.{slug}.apply"), apply_started.elapsed().as_secs_f64());
+            .record(&format!("aas.{slug}.apply"), apply_watch.elapsed_secs());
         [like_stats, follow_stats]
     }
 
@@ -974,6 +977,7 @@ impl CollusionService {
                     migrate_after_days: u32::MAX,
                     ..adapt_cfgs[i]
                 };
+                // footsteps-lint: allow(nondet-iter) — per-account controllers update independently of visit order
                 for (&account, &(attempted, blocked, delivered)) in &s.per_recipient {
                     if blocked == 0 && !per.contains_key(&account) {
                         continue;
@@ -995,6 +999,7 @@ impl CollusionService {
         let engaged = stats[0].per_recipient.len().max(1);
         let throttled = self
             .per_recipient_like
+            // footsteps-lint: allow(nondet-iter) — order-insensitive count of throttled controllers
             .values()
             .filter(|c| c.is_throttled())
             .count();
@@ -1191,6 +1196,7 @@ mod tests {
 
     #[test]
     fn like_blocking_is_answered_after_the_lag() {
+        #[derive(Debug)]
         struct BlockInboundLikes;
         impl EnforcementPolicy for BlockInboundLikes {
             fn evaluate(&self, ctx: &EnforcementContext) -> EnforcementDecision {
@@ -1289,6 +1295,7 @@ mod tests {
         // Only recipients whose deliveries visibly fail get capped; the
         // rest of the membership keeps full service (this is why the narrow
         // 10%-bin experiment still provokes adaptation for exactly that 10%).
+        #[derive(Debug)]
         struct BlockOddInboundLikes;
         impl EnforcementPolicy for BlockOddInboundLikes {
             fn evaluate(&self, ctx: &EnforcementContext) -> EnforcementDecision {
@@ -1334,6 +1341,7 @@ mod tests {
 
     #[test]
     fn exhausted_rotation_under_blocking_goes_out_of_stock() {
+        #[derive(Debug)]
         struct BlockAllInbound;
         impl EnforcementPolicy for BlockAllInbound {
             fn evaluate(&self, ctx: &EnforcementContext) -> EnforcementDecision {

@@ -115,6 +115,7 @@ struct CustomerPlan {
 }
 
 /// A running reciprocity-abuse service.
+#[derive(Debug)]
 pub struct ReciprocityService {
     config: ReciprocityConfig,
     customers: CustomerBook,
@@ -259,6 +260,7 @@ impl ReciprocityService {
     /// `ty`.
     pub fn throttled_customer_count(&self, ty: ActionType) -> usize {
         self.per_customer
+            // footsteps-lint: allow(nondet-iter) — order-insensitive count of throttled customers
             .iter()
             .filter(|((_, t), c)| *t == ty.index() && c.is_throttled())
             .count()
@@ -549,7 +551,7 @@ impl ReciprocityService {
 
         // Decision phase: plan every engaged customer's day in parallel.
         let threads = platform.config.worker_threads;
-        let decision_started = std::time::Instant::now();
+        let decision_watch = footsteps_obs::Stopwatch::start();
         let mut plans = crate::engine::plan_parallel(
             &engaged,
             threads,
@@ -564,7 +566,7 @@ impl ReciprocityService {
         platform
             .obs
             .timings
-            .record(&format!("aas.{slug}.decision"), decision_started.elapsed().as_secs_f64());
+            .record(&format!("aas.{slug}.decision"), decision_watch.elapsed_secs());
         let planned_batches: u64 = plans.iter().map(|p| p.batches.len() as u64).sum();
         platform
             .obs
@@ -577,7 +579,7 @@ impl ReciprocityService {
 
         // Apply phase: submit the plans serially, in roster order. All
         // platform mutation and controller feedback happens here.
-        let apply_started = std::time::Instant::now();
+        let apply_watch = footsteps_obs::Stopwatch::start();
         for (plan, (_, _, _, requested)) in plans.iter_mut().zip(&engaged) {
             if plan.login_home {
                 platform.record_login(plan.account);
@@ -626,7 +628,7 @@ impl ReciprocityService {
         platform
             .obs
             .timings
-            .record(&format!("aas.{slug}.apply"), apply_started.elapsed().as_secs_f64());
+            .record(&format!("aas.{slug}.apply"), apply_watch.elapsed_secs());
         stats
     }
 
@@ -1023,6 +1025,7 @@ mod tests {
 
     #[test]
     fn blocking_provokes_throttling_and_migration() {
+        #[derive(Debug)]
         struct BlockFollows;
         impl EnforcementPolicy for BlockFollows {
             fn evaluate(&self, ctx: &EnforcementContext) -> EnforcementDecision {
@@ -1058,6 +1061,7 @@ mod tests {
 
     #[test]
     fn delayed_removal_goes_unanswered() {
+        #[derive(Debug)]
         struct DelayFollows;
         impl EnforcementPolicy for DelayFollows {
             fn evaluate(&self, ctx: &EnforcementContext) -> EnforcementDecision {

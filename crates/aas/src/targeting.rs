@@ -138,6 +138,7 @@ impl TargetPool {
                 chosen.insert(j);
             }
         }
+        // footsteps-lint: allow(nondet-iter) — indices are sorted on the next line; emission is in pool order
         let mut idx: Vec<usize> = chosen.into_iter().collect();
         idx.sort_unstable();
         idx.into_iter().map(|i| self.members[i]).collect()

@@ -70,7 +70,7 @@ mod tests {
     use footsteps_sim::platform::PlatformConfig;
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
-    use std::collections::HashSet;
+    use std::collections::{BTreeSet, HashSet};
 
     #[test]
     fn mix_is_normalised_and_signature_scoped() {
@@ -87,7 +87,7 @@ mod tests {
         p.log.record_outbound(Day(0), a, other, fp, ActionType::Comment, ActionOutcome::Delivered, 500);
         let sig = ServiceSignature {
             service: ServiceId::Boostgram,
-            asns: HashSet::from([host]),
+            asns: BTreeSet::from([host]),
             fingerprints: HashSet::from([fp]),
             collusion: false,
         };
@@ -108,7 +108,7 @@ mod tests {
         let p = Platform::new(reg, PlatformConfig::default(), SmallRng::seed_from_u64(1));
         let sig = ServiceSignature {
             service: ServiceId::Boostgram,
-            asns: HashSet::from([host]),
+            asns: BTreeSet::from([host]),
             fingerprints: HashSet::from([ClientFingerprint::SpoofedMobile { variant: 3 }]),
             collusion: false,
         };

@@ -7,7 +7,7 @@
 use footsteps_detect::Classification;
 use footsteps_sim::prelude::*;
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
+use std::collections::{BTreeSet, HashSet};
 
 /// The long-term definition for a business group: the minimum number of
 /// *consecutive* active days that makes a customer long-term.
@@ -83,7 +83,7 @@ pub fn long_term_action_share(
     platform: &Platform,
     classification: &Classification,
     group: ServiceGroup,
-    asns: &HashSet<AsnId>,
+    asns: &BTreeSet<AsnId>,
     start: Day,
     end: Day,
 ) -> f64 {

@@ -10,7 +10,7 @@ use footsteps_aas::catalog::{hublaagram_catalog, reciprocity_pricing, Cents};
 use footsteps_detect::Classification;
 use footsteps_sim::prelude::*;
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap, HashSet};
 
 /// Table 8 row: a reciprocity service's estimated monthly gross revenue.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -84,6 +84,7 @@ pub fn reciprocity_revenue(
         end,
     );
     let mut revenue = 0u64;
+    // footsteps-lint: allow(nondet-iter) — revenue is a sum over paid blocks, order-insensitive
     for &days in paid.values() {
         // Paid time is purchased in blocks of the minimum duration.
         let blocks = days.div_ceil(pricing.min_paid_days.max(1));
@@ -144,7 +145,7 @@ impl HublaagramRevenue {
 pub fn hublaagram_revenue(
     platform: &Platform,
     classification: &Classification,
-    service_asns: &HashSet<AsnId>,
+    service_asns: &BTreeSet<AsnId>,
     start: Day,
     end: Day,
 ) -> HublaagramRevenue {
@@ -158,7 +159,7 @@ pub fn hublaagram_revenue(
 pub fn hublaagram_revenue_windows(
     platform: &Platform,
     classification: &Classification,
-    service_asns: &HashSet<AsnId>,
+    service_asns: &BTreeSet<AsnId>,
     start: Day,
     end: Day,
     period_start: Day,
@@ -224,6 +225,7 @@ pub fn hublaagram_revenue_windows(
     }
     let _ = &outbound_total;
     let no_outbound_accounts = period_inbound
+        // footsteps-lint: allow(nondet-iter) — order-insensitive count
         .iter()
         .filter(|a| !period_outbound.contains(a))
         .count() as u64;
@@ -234,6 +236,7 @@ pub fn hublaagram_revenue_windows(
     let mut one_time_accounts = 0u64;
     let mut one_time_cents = 0u64;
     let mut paid_like_delivered = 0u64;
+    // footsteps-lint: allow(nondet-iter) — per-account tier counters; totals do not depend on visit order
     for (&account, days) in &photo_day_likes {
         let _ = account;
         let paid = days.iter().any(|&(_, hourly)| hourly > catalog.free_likes_per_hour_cap);
@@ -280,8 +283,10 @@ pub fn hublaagram_revenue_windows(
 
     // --- ads -------------------------------------------------------------------
     // Free deliveries = everything not attributed to paid like service.
+    // footsteps-lint: allow(nondet-iter) — order-insensitive sum
     let total_likes: u64 = inbound_like_total.values().sum();
     let free_likes = total_likes.saturating_sub(paid_like_delivered);
+    // footsteps-lint: allow(nondet-iter) — order-insensitive sum
     let free_follows: u64 = inbound_follow_total.values().sum();
     let ad_impressions = free_likes / u64::from(catalog.free_likes_per_request.max(1))
         + free_follows / u64::from(catalog.free_follows_per_request.max(1));
@@ -459,7 +464,7 @@ mod tests {
         p.begin_day(Day(1));
         p.deposit_inbound(c, ActionType::Like, 80, 0, Some(host), Some((c_media, 120)));
 
-        let asns: HashSet<AsnId> = [host].into();
+        let asns: BTreeSet<AsnId> = [host].into();
         let rev = hublaagram_revenue(&p, &class, &asns, Day(0), Day(5));
         assert_eq!(rev.no_outbound_accounts, 2, "A and C never produce outbound");
         assert_eq!(rev.monthly_tier_accounts, vec![0, 1, 0, 0], "C maps to tier 500-1000");
@@ -504,7 +509,7 @@ mod tests {
         // …then the 2,000-like burst at a paid rate.
         p.begin_day(Day(2));
         p.deposit_inbound(buyer, ActionType::Like, 2_000, 0, Some(host), Some((media, 800)));
-        let asns: HashSet<AsnId> = [host].into();
+        let asns: BTreeSet<AsnId> = [host].into();
         let rev = hublaagram_revenue(&p, &class, &asns, Day(0), Day(5));
         assert_eq!(rev.one_time_accounts, 1);
         assert_eq!(rev.one_time_cents, 1_000);

@@ -116,6 +116,7 @@ fn bench_targeting_bias(c: &mut Criterion) {
 /// A service day with the adaptation machinery exercised (blocking on) vs
 /// idle (no enforcement).
 fn bench_adaptation(c: &mut Criterion) {
+    #[derive(Debug)]
     struct BlockFollows;
     impl EnforcementPolicy for BlockFollows {
         fn evaluate(&self, ctx: &EnforcementContext) -> EnforcementDecision {

@@ -14,7 +14,7 @@
 use footsteps_core::Phase;
 use footsteps_detect::{classify, score_group_before, ServiceSignature};
 use footsteps_sim::prelude::*;
-use std::collections::HashSet;
+use std::collections::{BTreeSet, HashSet};
 
 fn main() {
     let study = footsteps_bench::study_to(Phase::Characterized);
@@ -41,7 +41,7 @@ fn main() {
             collusion: s.collusion,
         })
         .collect();
-    let all_asns: HashSet<AsnId> = study.platform.asns.iter().map(|a| a.id).collect();
+    let all_asns: BTreeSet<AsnId> = study.platform.asns.iter().map(|a| a.id).collect();
     let fp_only: Vec<ServiceSignature> = full
         .iter()
         .map(|s| ServiceSignature {

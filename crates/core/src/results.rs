@@ -17,7 +17,7 @@ use footsteps_intervene::{
 use footsteps_sim::enforcement::Direction;
 use footsteps_sim::prelude::*;
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
+use std::collections::{BTreeSet, HashSet};
 
 /// Table 5: the measured reciprocation matrix.
 pub fn table5(study: &Study) -> Vec<Table5Row> {
@@ -223,7 +223,7 @@ fn customers_in_window(
     group: ServiceGroup,
     start: Day,
     end: Day,
-) -> HashSet<AccountId> {
+) -> BTreeSet<AccountId> {
     let windowed = footsteps_detect::classify(
         &study.platform,
         &study.pipeline().signatures,

@@ -24,7 +24,7 @@ use footsteps_sim::population::{synthesize, PopulationConfig, ResidentialIndex};
 use footsteps_sim::prelude::*;
 use rand::rngs::SmallRng;
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Phase boundaries of a study, in days.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -74,6 +74,7 @@ pub enum Phase {
 }
 
 /// A full study world.
+#[derive(Debug)]
 pub struct Study {
     /// The configuration this study was built from.
     pub scenario: Scenario,
@@ -241,7 +242,7 @@ impl Study {
     fn setup(&mut self) {
         // The metrics registry opens on an implicit "setup" frame, so
         // everything below lands there without an explicit begin_phase.
-        let started = std::time::Instant::now();
+        let timer = self.platform.obs.timings.start("phase.setup");
         self.platform.begin_day(Day(0));
         self.framework.setup_celebrities(&mut self.platform, 25);
         self.framework
@@ -289,16 +290,13 @@ impl Study {
             ),
         ];
         self.campaigns = reports;
-        self.platform
-            .obs
-            .timings
-            .record("phase.setup", started.elapsed().as_secs_f64());
+        self.platform.obs.timings.finish(timer);
     }
 
     /// Advance the world through one day: day boundary, background traffic,
     /// then every service.
     fn step_day(&mut self, day: Day) {
-        let started = std::time::Instant::now();
+        let timer = self.platform.obs.timings.start("engine.step_day");
         self.platform.begin_day(day);
         run_background_day(
             &mut self.platform,
@@ -316,10 +314,7 @@ impl Study {
             .run_day(&mut self.platform, &self.residential, &mut self.ledger, day);
         self.followersgratis
             .run_day(&mut self.platform, &self.residential, &mut self.ledger, day);
-        self.platform
-            .obs
-            .timings
-            .record("engine.step_day", started.elapsed().as_secs_f64());
+        self.platform.obs.timings.finish(timer);
     }
 
     /// Run the characterization phase (§4/§5) and build the detection
@@ -327,14 +322,14 @@ impl Study {
     pub fn run_characterization(&mut self) {
         assert_eq!(self.phase, Phase::Setup, "phases must run in order");
         self.platform.obs.begin_phase("characterization");
-        let started = std::time::Instant::now();
+        let timer = self.platform.obs.timings.start("phase.characterization");
         for day in Day::range(self.timeline.char_start, self.timeline.narrow_start) {
             self.step_day(day);
         }
         let (cal_start, cal_end) = self
             .timeline
             .calibration(self.scenario.calibration_tail_days);
-        let build_started = std::time::Instant::now();
+        let build_timer = self.platform.obs.timings.start("detect.pipeline_build");
         let pipeline = DetectionPipeline::build_windows(
             &self.framework,
             &self.platform,
@@ -343,16 +338,10 @@ impl Study {
             cal_start,
             cal_end,
         );
-        self.platform
-            .obs
-            .timings
-            .record("detect.pipeline_build", build_started.elapsed().as_secs_f64());
+        self.platform.obs.timings.finish(build_timer);
         pipeline.record_obs(&mut self.platform.obs);
         self.pipeline = Some(pipeline);
-        self.platform
-            .obs
-            .timings
-            .record("phase.characterization", started.elapsed().as_secs_f64());
+        self.platform.obs.timings.finish(timer);
         self.phase = Phase::Characterized;
     }
 
@@ -360,7 +349,7 @@ impl Study {
     pub fn run_narrow(&mut self) {
         assert_eq!(self.phase, Phase::Characterized, "characterize first");
         self.platform.obs.begin_phase("narrow");
-        let started = std::time::Instant::now();
+        let timer = self.platform.obs.timings.start("phase.narrow");
         let thresholds = self.pipeline().thresholds.clone();
         let bins = self
             .narrow_plan
@@ -371,10 +360,7 @@ impl Study {
         for day in Day::range(self.timeline.narrow_start, self.timeline.broad_start) {
             self.step_day(day);
         }
-        self.platform
-            .obs
-            .timings
-            .record("phase.narrow", started.elapsed().as_secs_f64());
+        self.platform.obs.timings.finish(timer);
         self.phase = Phase::NarrowDone;
     }
 
@@ -382,7 +368,7 @@ impl Study {
     pub fn run_broad(&mut self) {
         assert_eq!(self.phase, Phase::NarrowDone, "narrow first");
         self.platform.obs.begin_phase("broad");
-        let started = std::time::Instant::now();
+        let timer = self.platform.obs.timings.start("phase.broad");
         let thresholds = self.pipeline().thresholds.clone();
         for day in Day::range(self.timeline.broad_start, self.timeline.epilogue_start) {
             if let Some(bins) = self.broad_plan.bins_on(day) {
@@ -393,10 +379,7 @@ impl Study {
             }
             self.step_day(day);
         }
-        self.platform
-            .obs
-            .timings
-            .record("phase.broad", started.elapsed().as_secs_f64());
+        self.platform.obs.timings.finish(timer);
         self.phase = Phase::BroadDone;
     }
 
@@ -405,7 +388,7 @@ impl Study {
     pub fn run_epilogue(&mut self) {
         assert_eq!(self.phase, Phase::BroadDone, "broad first");
         self.platform.obs.begin_phase("epilogue");
-        let started = std::time::Instant::now();
+        let timer = self.platform.obs.timings.start("phase.epilogue");
         let thresholds = self.pipeline().thresholds.clone();
         self.platform.set_policy(Box::new(EpiloguePolicy::new(
             thresholds,
@@ -414,10 +397,7 @@ impl Study {
         for day in Day::range(self.timeline.epilogue_start, self.timeline.end) {
             self.step_day(day);
         }
-        self.platform
-            .obs
-            .timings
-            .record("phase.epilogue", started.elapsed().as_secs_f64());
+        self.platform.obs.timings.finish(timer);
         self.phase = Phase::Finished;
     }
 
@@ -441,7 +421,7 @@ impl Study {
 
     /// The signature ASNs of a business group (where its traffic was seen
     /// during calibration).
-    pub fn group_asns(&self, group: ServiceGroup) -> HashSet<AsnId> {
+    pub fn group_asns(&self, group: ServiceGroup) -> BTreeSet<AsnId> {
         self.pipeline()
             .signatures
             .iter()

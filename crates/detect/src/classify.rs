@@ -18,19 +18,23 @@
 use crate::signature::ServiceSignature;
 use footsteps_sim::prelude::*;
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashSet};
 
 /// The classifier's verdicts over a window.
+///
+/// All containers are BTree-based: the classification is iterated by the
+/// business analyses and serialized into results, so its order must be
+/// deterministic (DESIGN.md §6).
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Classification {
     /// Accounts attributed to each service.
-    pub customers: HashMap<ServiceId, HashSet<AccountId>>,
+    pub customers: BTreeMap<ServiceId, BTreeSet<AccountId>>,
     /// First day each (service, account) pair was observed active.
-    pub first_seen: HashMap<(ServiceId, AccountId), Day>,
+    pub first_seen: BTreeMap<(ServiceId, AccountId), Day>,
     /// Last day each (service, account) pair was observed active.
-    pub last_seen: HashMap<(ServiceId, AccountId), Day>,
+    pub last_seen: BTreeMap<(ServiceId, AccountId), Day>,
     /// Days on which each (service, account) pair was active.
-    pub active_days: HashMap<(ServiceId, AccountId), Vec<Day>>,
+    pub active_days: BTreeMap<(ServiceId, AccountId), Vec<Day>>,
 }
 
 impl Classification {
@@ -49,8 +53,8 @@ impl Classification {
 
     /// Accounts attributed to *any* service in a group (Insta* combines the
     /// franchises because their actions cannot be told apart, §5).
-    pub fn customers_of_group(&self, group: ServiceGroup) -> HashSet<AccountId> {
-        let mut set = HashSet::new();
+    pub fn customers_of_group(&self, group: ServiceGroup) -> BTreeSet<AccountId> {
+        let mut set = BTreeSet::new();
         for &s in group.members() {
             if let Some(c) = self.customers.get(&s) {
                 set.extend(c.iter().copied());
@@ -70,7 +74,7 @@ impl Classification {
     pub fn without_accounts(&self, exclude: &HashSet<AccountId>) -> Classification {
         let mut out = Classification::default();
         for (service, set) in &self.customers {
-            let filtered: HashSet<AccountId> =
+            let filtered: BTreeSet<AccountId> =
                 set.iter().copied().filter(|a| !exclude.contains(a)).collect();
             if !filtered.is_empty() {
                 out.customers.insert(*service, filtered);
@@ -207,7 +211,7 @@ pub fn score_group(
     group: ServiceGroup,
 ) -> Score {
     let classified = classification.customers_of_group(group);
-    let mut truth = HashSet::new();
+    let mut truth = BTreeSet::new();
     for a in platform.accounts.iter() {
         let services = platform.ground_truth_services(a.id);
         if services.iter().any(|s| group.members().contains(s)) {
@@ -230,12 +234,12 @@ pub fn score_group_before(
     group: ServiceGroup,
     cutoff: footsteps_sim::time::SimTime,
 ) -> Score {
-    let classified: HashSet<AccountId> = classification
+    let classified: BTreeSet<AccountId> = classification
         .customers_of_group(group)
         .into_iter()
         .filter(|&a| platform.accounts.get(a).created_at < cutoff)
         .collect();
-    let mut truth = HashSet::new();
+    let mut truth = BTreeSet::new();
     for a in platform.accounts.iter() {
         if a.created_at >= cutoff {
             continue;
@@ -253,9 +257,9 @@ pub fn score_group_before(
 
 /// Score the classification for one service against ground truth.
 pub fn score(platform: &Platform, classification: &Classification, service: ServiceId) -> Score {
-    let classified: HashSet<AccountId> = classification.customers_of(service).collect();
+    let classified: BTreeSet<AccountId> = classification.customers_of(service).collect();
     // Ground truth: every account the service actually drove.
-    let mut truth = HashSet::new();
+    let mut truth = BTreeSet::new();
     for a in platform.accounts.iter() {
         if platform.ground_truth_services(a.id).contains(&service) {
             truth.insert(a.id);

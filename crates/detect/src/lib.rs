@@ -8,6 +8,7 @@
 //! of abuse traffic on pure ASNs; outbound side for reciprocity services,
 //! inbound side for collusion networks).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -13,15 +13,16 @@
 use footsteps_honeypot::HoneypotFramework;
 use footsteps_sim::prelude::*;
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
+use std::collections::{BTreeSet, HashSet};
 
 /// Network+client signature of one service.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ServiceSignature {
     /// The service this signature describes.
     pub service: ServiceId,
-    /// ASNs the service's platform traffic originates from.
-    pub asns: HashSet<AsnId>,
+    /// ASNs the service's platform traffic originates from. A `BTreeSet`
+    /// so that every consumer's iteration order is deterministic.
+    pub asns: BTreeSet<AsnId>,
     /// Client fingerprints of its automation stack.
     pub fingerprints: HashSet<ClientFingerprint>,
     /// Whether the service's signature traffic is *inbound* to customer
@@ -62,7 +63,7 @@ pub fn extract_signature(
     if honeypots.is_empty() {
         return None;
     }
-    let mut asns = HashSet::new();
+    let mut asns = BTreeSet::new();
     let mut fingerprints = HashSet::new();
     for &(account, home) in &honeypots {
         for ev in platform.log.events_in(start, end, |e| e.actor == account) {

@@ -17,7 +17,7 @@ use crate::signature::ServiceSignature;
 use footsteps_sim::enforcement::Direction;
 use footsteps_sim::prelude::*;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// How an ASN's traffic breaks down between abusive and benign accounts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -68,9 +68,12 @@ pub fn asn_traffic_kind(
 }
 
 /// The frozen threshold table used by the intervention policies.
+///
+/// Thresholds live in a `BTreeMap` so that iteration (reporting, policy
+/// sweeps) and serialization are deterministic.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct ThresholdTable {
-    thresholds: HashMap<(AsnId, ActionType, Direction), u32>,
+    thresholds: BTreeMap<(AsnId, ActionType, Direction), u32>,
     /// Traffic kind per ASN, retained for reporting.
     pub asn_kinds: HashMap<AsnId, AsnTraffic>,
 }
@@ -208,6 +211,7 @@ fn per_account_daily_outbound(
         }
         samples.extend(
             per_account
+                // footsteps-lint: allow(nondet-iter) — samples are sorted by percentile_u32 before use
                 .into_iter()
                 .filter(|&(a, _)| include(a))
                 .map(|(_, n)| n),
@@ -271,7 +275,7 @@ mod tests {
     };
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
-    use std::collections::HashSet;
+    use std::collections::{BTreeSet, HashSet};
 
     /// Build a platform with one pure-abuse ASN, one mixed ASN and one
     /// collusion ASN, with hand-written daily logs.
@@ -351,19 +355,19 @@ mod tests {
         let signatures = vec![
             ServiceSignature {
                 service: ServiceId::Boostgram,
-                asns: HashSet::from([pure]),
+                asns: BTreeSet::from([pure]),
                 fingerprints: HashSet::from([spoof]),
                 collusion: false,
             },
             ServiceSignature {
                 service: ServiceId::Instalex,
-                asns: HashSet::from([mixed]),
+                asns: BTreeSet::from([mixed]),
                 fingerprints: HashSet::from([spoof]),
                 collusion: false,
             },
             ServiceSignature {
                 service: ServiceId::Hublaagram,
-                asns: HashSet::from([collusion]),
+                asns: BTreeSet::from([collusion]),
                 fingerprints: HashSet::from([coll_fp]),
                 collusion: true,
             },

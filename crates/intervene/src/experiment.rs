@@ -88,7 +88,7 @@ mod tests {
     use footsteps_sim::prelude::*;
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
-    use std::collections::HashSet;
+    use std::collections::BTreeSet;
 
     #[test]
     fn plan_phase_lookup() {
@@ -168,7 +168,7 @@ mod tests {
         }
 
         // --- measure ----------------------------------------------------------
-        let customers: HashSet<AccountId> = pipeline
+        let customers: BTreeSet<AccountId> = pipeline
             .classification
             .customers_of(ServiceId::Boostgram)
             .collect();
@@ -179,7 +179,7 @@ mod tests {
             assert!(n >= 5, "bin {bin} has {n} customers");
         }
         let _ = NUM_BINS;
-        let asns: HashSet<AsnId> = [host].into();
+        let asns: BTreeSet<AsnId> = [host].into();
         let series = |policy: BinPolicy| {
             median_actions_per_user(
                 &platform, &customers, &bins, policy, &asns,

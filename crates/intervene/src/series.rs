@@ -12,7 +12,7 @@ use crate::bins::{BinAssignment, BinPolicy};
 use footsteps_sim::enforcement::Direction;
 use footsteps_sim::prelude::*;
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// A per-day numeric series over `[start, end)`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -45,14 +45,14 @@ impl DailySeries {
 /// side of the traffic.
 fn daily_counts(
     platform: &Platform,
-    accounts: &HashSet<AccountId>,
-    asns: &HashSet<AsnId>,
+    accounts: &BTreeSet<AccountId>,
+    asns: &BTreeSet<AsnId>,
     ty: ActionType,
     direction: Direction,
     day_log: &DayLog,
-) -> HashMap<AccountId, u32> {
+) -> BTreeMap<AccountId, u32> {
     let _ = platform;
-    let mut per_account: HashMap<AccountId, u32> = HashMap::new();
+    let mut per_account: BTreeMap<AccountId, u32> = BTreeMap::new();
     match direction {
         Direction::Outbound => {
             for (key, counts) in day_log.outbound() {
@@ -84,16 +84,16 @@ fn daily_counts(
 #[allow(clippy::too_many_arguments)]
 pub fn median_actions_per_user(
     platform: &Platform,
-    accounts: &HashSet<AccountId>,
+    accounts: &BTreeSet<AccountId>,
     bins: &BinAssignment,
     policy: BinPolicy,
-    asns: &HashSet<AsnId>,
+    asns: &BTreeSet<AsnId>,
     ty: ActionType,
     direction: Direction,
     start: Day,
     end: Day,
 ) -> DailySeries {
-    let group: HashSet<AccountId> = accounts
+    let group: BTreeSet<AccountId> = accounts
         .iter()
         .copied()
         .filter(|&a| bins.policy_for(a) == policy)
@@ -102,10 +102,9 @@ pub fn median_actions_per_user(
     for day in Day::range(start, end) {
         let v = match platform.log.day(day) {
             Some(log) => {
-                let mut counts: Vec<u32> =
-                    daily_counts(platform, &group, asns, ty, direction, log)
-                        .into_values()
-                        .collect();
+                let day_counts: BTreeMap<AccountId, u32> =
+                    daily_counts(platform, &group, asns, ty, direction, log);
+                let mut counts: Vec<u32> = day_counts.into_values().collect();
                 if counts.is_empty() {
                     0.0
                 } else {
@@ -125,17 +124,17 @@ pub fn median_actions_per_user(
 #[allow(clippy::too_many_arguments)]
 pub fn eligible_proportion(
     platform: &Platform,
-    accounts: &HashSet<AccountId>,
+    accounts: &BTreeSet<AccountId>,
     bins: &BinAssignment,
     policies: &[BinPolicy],
-    asns: &HashSet<AsnId>,
+    asns: &BTreeSet<AsnId>,
     ty: ActionType,
     direction: Direction,
     threshold: u32,
     start: Day,
     end: Day,
 ) -> DailySeries {
-    let group: HashSet<AccountId> = accounts
+    let group: BTreeSet<AccountId> = accounts
         .iter()
         .copied()
         .filter(|&a| policies.contains(&bins.policy_for(a)))
@@ -144,7 +143,8 @@ pub fn eligible_proportion(
     for day in Day::range(start, end) {
         let v = match platform.log.day(day) {
             Some(log) => {
-                let counts = daily_counts(platform, &group, asns, ty, direction, log);
+                let counts: BTreeMap<AccountId, u32> =
+                    daily_counts(platform, &group, asns, ty, direction, log);
                 let total: u64 = counts.values().map(|&n| u64::from(n)).sum();
                 let eligible: u64 = counts
                     .values()
@@ -208,8 +208,8 @@ mod tests {
                 10 * (i as u32 + 1),
             );
         }
-        let set: HashSet<AccountId> = accounts.iter().copied().collect();
-        let asns: HashSet<AsnId> = [host].into();
+        let set: BTreeSet<AccountId> = accounts.iter().copied().collect();
+        let asns: BTreeSet<AsnId> = [host].into();
         // All in one policy group: everything untreated.
         let bins = BinAssignment::none();
         let s = median_actions_per_user(
@@ -237,8 +237,8 @@ mod tests {
         // a: 50 follows, b: 10 follows; threshold 30 → eligible = 20 of 60.
         p.log.record_outbound(Day(0), a, host, fp, ActionType::Follow, ActionOutcome::Delivered, 50);
         p.log.record_outbound(Day(0), b, host, fp, ActionType::Follow, ActionOutcome::Delivered, 10);
-        let set: HashSet<AccountId> = [a, b].into();
-        let asns: HashSet<AsnId> = [host].into();
+        let set: BTreeSet<AccountId> = [a, b].into();
+        let asns: BTreeSet<AsnId> = [host].into();
         let s = eligible_proportion(
             &p,
             &set,
@@ -264,8 +264,8 @@ mod tests {
         let a1 = (0..).map(AccountId).find(|&a| bin_of(a) == 1).unwrap();
         p.log.record_outbound(Day(0), a0, host, fp, ActionType::Follow, ActionOutcome::Delivered, 100);
         p.log.record_outbound(Day(0), a1, host, fp, ActionType::Follow, ActionOutcome::Delivered, 7);
-        let set: HashSet<AccountId> = [a0, a1].into();
-        let asns: HashSet<AsnId> = [host].into();
+        let set: BTreeSet<AccountId> = [a0, a1].into();
+        let asns: BTreeSet<AsnId> = [host].into();
         let bins = BinAssignment::narrow(0, 1, 2);
         let block = median_actions_per_user(
             &p, &set, &bins, BinPolicy::Block, &asns,

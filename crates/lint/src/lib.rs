@@ -1,0 +1,68 @@
+//! footsteps-lint: the workspace's determinism & safety lint.
+//!
+//! The reproduction's core contract — byte-identical results for any
+//! `FOOTSTEPS_THREADS`, golden digest `0xce8aeb34fb9fe096` — rests on
+//! invariants no compiler checks: no order-observing iteration over hash
+//! containers in digest code, wall-clock and environment reads confined to
+//! the observability/config entry points, every RNG stream derived through
+//! `sim::rng`, no metrics recording inside the parallel decision phase,
+//! and no `unsafe`. This crate machine-checks those invariants on every
+//! CI run (DESIGN.md §6 documents the rules and the pragma grammar).
+//!
+//! Exceptions are claimed *in source*, with a mandatory reason:
+//!
+//! ```text
+//! // footsteps-lint: allow(nondet-iter) — feeds an order-insensitive sum
+//! ```
+//!
+//! The library entry points ([`lint_workspace`], [`lint_files`]) are what
+//! both the CI binary and the crate's own integration tests use, so the
+//! gate exercised in CI is the same code path the tests pin.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod lexer;
+pub mod pragma;
+pub mod report;
+pub mod rules;
+pub mod walker;
+
+pub use rules::{Finding, PragmaStatus, Rule, SymbolTable};
+
+use std::io;
+use std::path::Path;
+
+/// Lint a set of in-memory files (`(workspace-relative path, source)`).
+///
+/// Two passes: the first builds the workspace-global table of hash/btree
+/// typed names over *all* files, the second checks each file against it —
+/// so a `HashMap` field declared in `sim` and iterated from `aas` is still
+/// caught.
+pub fn lint_files(files: &[(String, String)]) -> Vec<Finding> {
+    let mut symbols = SymbolTable::default();
+    for (_, source) in files {
+        symbols.collect(&lexer::lex(source));
+    }
+    let mut findings = Vec::new();
+    for (relpath, source) in files {
+        findings.extend(rules::check_file(relpath, source, &symbols));
+    }
+    findings
+}
+
+/// Lint the workspace rooted at `root`. This is the entry point the CI
+/// binary runs and the meta integration test asserts on.
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    let mut files = Vec::new();
+    for (rel, abs) in walker::workspace_files(root)? {
+        files.push((rel, std::fs::read_to_string(&abs)?));
+    }
+    Ok(lint_files(&files))
+}
+
+/// Count the findings that fail the build.
+pub fn violation_count(findings: &[Finding]) -> usize {
+    findings.iter().filter(|f| f.is_violation()).count()
+}

@@ -1,0 +1,831 @@
+//! The repo-specific rules and the per-file checking engine.
+//!
+//! Every rule is a token-level pattern over [`crate::lexer`] output plus a
+//! scope (which crates/sections/test-ness it applies to). The rules encode
+//! the workspace's determinism contract (DESIGN.md §6): the golden digest
+//! `0xce8aeb34fb9fe096` must be byte-identical for any `FOOTSTEPS_THREADS`,
+//! which only holds if no order-observing map iteration, ambient time,
+//! ambient randomness, or parallel-phase metrics recording sneaks into the
+//! simulation path.
+//!
+//! Heuristics, stated honestly: without type inference we cannot prove a
+//! receiver is a `HashMap`. The engine therefore resolves receiver names in
+//! two layers: a workspace-global table of *field* declarations
+//! (`name: HashMap<..>` outside parentheses — so a hash field declared in
+//! `sim` and iterated from `aas` is still caught), shadowed by a per-file
+//! table of every local declaration (`let`, parameter, or field) — so a
+//! `Vec`-typed field that merely shares its name with a hash field in some
+//! other crate is not flagged. The map-specific method names (`keys`,
+//! `values`, …) are suspicious on *any* receiver that is not a known BTree
+//! name. A map returned by a function call and iterated inline is not
+//! caught — reviewers still cover that gap, the lint shrinks it.
+
+use crate::lexer::{lex, Lexed, Token, TokenKind};
+use crate::pragma::{self, Pragma};
+
+/// Crates whose `src` feeds the golden digest: order-observing iteration
+/// over hash containers there is a correctness bug unless proven safe.
+pub const DIGEST_CRATES: &[&str] = &["sim", "aas", "detect", "intervene", "analysis", "core"];
+
+/// Crates allowed to touch wall-clock (`Instant`, `SystemTime`, `elapsed`).
+pub const WALL_CLOCK_CRATES: &[&str] = &["obs", "bench"];
+
+/// The only file allowed to construct RNGs from raw seeds in non-test code.
+pub const RNG_MODULE: &str = "crates/sim/src/rng.rs";
+
+/// Files (beyond `crates/obs`) allowed to read the environment: the
+/// `FOOTSTEPS_THREADS` entry point and the bench harness's scenario
+/// selection (`FOOTSTEPS_SEED`/`FOOTSTEPS_SMOKE`).
+/// (`FOOTSTEPS_TRACE`/`FOOTSTEPS_QUIET` live in `crates/obs`;
+/// `FOOTSTEPS_PERF_TOLERANCE` is read by `scripts/ci.sh`, not Rust code.)
+pub const ENV_READ_FILES: &[&str] =
+    &["crates/core/src/scenario.rs", "crates/bench/src/lib.rs"];
+
+/// Files allowed to contain `unsafe`. Deliberately empty — every crate
+/// also carries `#![forbid(unsafe_code)]`; the lint is the belt to that
+/// braces, and catches files the compiler attribute does not cover yet.
+pub const UNSAFE_ALLOWLIST: &[&str] = &[];
+
+/// Function names forming the parallel decision-phase ("shard") paths: the
+/// bodies of these functions, plus every argument list of a
+/// `plan_parallel(...)` call, must not touch observability state (PR 2's
+/// serial-only metrics contract).
+pub const PLAN_FNS: &[&str] = &["plan_parallel", "plan_customer", "plan_member"];
+
+/// Identifiers that indicate observability access inside a shard path.
+const OBS_TOKENS: &[&str] = &[
+    "footsteps_obs",
+    "obs",
+    "metrics",
+    "timings",
+    "trace",
+    "progress",
+    "Recorder",
+];
+
+const AMBIENT_RNG_BANNED: &[&str] = &["thread_rng", "from_entropy", "from_rng"];
+const ORDER_METHODS_ANY_RECEIVER: &[&str] =
+    &["keys", "values", "values_mut", "into_keys", "into_values"];
+const ORDER_METHODS_KNOWN_RECEIVER: &[&str] = &["iter", "iter_mut", "into_iter", "drain"];
+
+/// The lint rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// Order-observing iteration over a hash container in digest code.
+    NondetIter,
+    /// Wall-clock access outside `crates/obs` / `crates/bench`.
+    WallClock,
+    /// Ambient or raw-seeded randomness outside `sim::rng`.
+    AmbientRng,
+    /// `std::env::var` outside the designated config/obs entry points.
+    EnvRead,
+    /// Observability access inside a parallel decision-phase shard path.
+    ParallelMetrics,
+    /// `unsafe` outside the (empty) allowlist.
+    UnsafeCode,
+    /// A problem with a pragma itself (missing reason, unknown rule, stale).
+    Pragma,
+}
+
+impl Rule {
+    /// Every rule, in severity-agnostic display order.
+    pub const ALL: &'static [Rule] = &[
+        Rule::NondetIter,
+        Rule::WallClock,
+        Rule::AmbientRng,
+        Rule::EnvRead,
+        Rule::ParallelMetrics,
+        Rule::UnsafeCode,
+        Rule::Pragma,
+    ];
+
+    /// The kebab-case name used in pragmas, findings, and docs.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Rule::NondetIter => "nondet-iter",
+            Rule::WallClock => "wall-clock",
+            Rule::AmbientRng => "ambient-rng",
+            Rule::EnvRead => "env-read",
+            Rule::ParallelMetrics => "parallel-metrics",
+            Rule::UnsafeCode => "unsafe-code",
+            Rule::Pragma => "pragma",
+        }
+    }
+}
+
+/// Pragma situation of a finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PragmaStatus {
+    /// No applicable pragma: the finding is a violation.
+    None,
+    /// Suppressed by a valid pragma (reason recorded). Not a violation, but
+    /// still reported in `--json` so annotations stay auditable.
+    Allowed(String),
+    /// A pragma exists but carries no reason.
+    MissingReason,
+    /// A pragma failed to parse (message recorded).
+    Malformed(String),
+    /// A valid pragma that suppressed nothing — stale, remove it.
+    Unused,
+}
+
+/// One finding: a rule match (allowed or not) or a pragma problem.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Which rule fired.
+    pub rule: Rule,
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// The trimmed source line.
+    pub snippet: String,
+    /// Human-readable explanation.
+    pub message: String,
+    /// Pragma situation.
+    pub pragma: PragmaStatus,
+}
+
+impl Finding {
+    /// Does this finding fail the build?
+    pub fn is_violation(&self) -> bool {
+        !matches!(self.pragma, PragmaStatus::Allowed(_))
+    }
+}
+
+/// Container-family classification of one declaration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Decl {
+    /// `HashMap` / `HashSet`: iteration order is arbitrary.
+    Hash,
+    /// `BTreeMap` / `BTreeSet`: iteration order is deterministic.
+    Btree,
+    /// Any other concrete (CamelCase) type: known not-a-hash-container.
+    Other,
+}
+
+fn container_class(ty: &str) -> Option<Decl> {
+    match ty {
+        "HashMap" | "HashSet" => Some(Decl::Hash),
+        "BTreeMap" | "BTreeSet" => Some(Decl::Btree),
+        _ => None,
+    }
+}
+
+/// Hash beats btree beats other when one name is declared several ways in
+/// the same file (conservative: the iteration gets flagged).
+fn decl_rank(d: Decl) -> u8 {
+    match d {
+        Decl::Hash => 2,
+        Decl::Btree => 1,
+        Decl::Other => 0,
+    }
+}
+
+/// Resolve the type identifier that follows a declaration `:`: skip
+/// `&`/`mut`/lifetime noise, then follow the path
+/// (`std::collections::HashMap<..>`) to its final segment before any
+/// generics.
+fn type_after_colon(tokens: &[Token], colon: usize) -> Option<&Token> {
+    let mut j = colon + 1;
+    while tokens
+        .get(j)
+        .is_some_and(|t| t.is_punct("&") || t.is_ident("mut") || t.kind == TokenKind::Lifetime)
+    {
+        j += 1;
+    }
+    if tokens.get(j)?.kind != TokenKind::Ident {
+        return None;
+    }
+    let mut last = j;
+    while tokens.get(last + 1).is_some_and(|t| t.is_punct("::"))
+        && tokens.get(last + 2).is_some_and(|t| t.kind == TokenKind::Ident)
+    {
+        last += 2;
+    }
+    Some(&tokens[last])
+}
+
+/// Is the identifier at `i` the start of a `let [mut] name` binding?
+fn after_let(tokens: &[Token], i: usize) -> bool {
+    match i.checked_sub(1).map(|p| &tokens[p]) {
+        Some(p) if p.is_ident("let") => true,
+        Some(p) if p.is_ident("mut") => i >= 2 && tokens[i - 2].is_ident("let"),
+        _ => false,
+    }
+}
+
+/// Workspace-global table of *field* names declared with hash / btree
+/// container types: `name: HashMap<..>` at parenthesis depth zero and not
+/// `let`-bound. Built over every scanned file before any file is checked,
+/// so a hash field declared in `sim` and iterated from `aas` is caught.
+/// `let` bindings and parameters are deliberately excluded — their uses are
+/// file-local and the per-file [`LocalTable`] sees them with full context.
+/// On a hash/btree collision, hash wins (conservative).
+#[derive(Debug, Default)]
+pub struct SymbolTable {
+    hash_names: Vec<String>,
+    btree_names: Vec<String>,
+}
+
+impl SymbolTable {
+    /// Record field declarations from one lexed file.
+    pub fn collect(&mut self, lexed: &Lexed) {
+        let tokens = &lexed.tokens;
+        let mut paren = 0i32;
+        for i in 0..tokens.len() {
+            let t = &tokens[i];
+            if t.is_punct("(") {
+                paren += 1;
+            } else if t.is_punct(")") {
+                paren -= 1;
+            }
+            if paren > 0
+                || t.kind != TokenKind::Ident
+                || !tokens.get(i + 1).is_some_and(|n| n.is_punct(":"))
+                || after_let(tokens, i)
+            {
+                continue;
+            }
+            let Some(ty) = type_after_colon(tokens, i + 1) else { continue };
+            match container_class(&ty.text) {
+                Some(Decl::Hash) => {
+                    if !self.hash_names.contains(&t.text) {
+                        self.hash_names.push(t.text.clone());
+                    }
+                }
+                Some(Decl::Btree) => {
+                    if !self.btree_names.contains(&t.text) {
+                        self.btree_names.push(t.text.clone());
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn is_hash(&self, name: &str) -> bool {
+        self.hash_names.iter().any(|n| n == name)
+    }
+
+    /// Known BTree-typed and *not* also hash-typed anywhere.
+    fn is_btree_only(&self, name: &str) -> bool {
+        self.btree_names.iter().any(|n| n == name) && !self.is_hash(name)
+    }
+}
+
+/// Per-file declaration table. Records every `name: Type` declaration
+/// (field, parameter, or `let` — the type must look like a type, i.e.
+/// CamelCase, so struct-literal initialisers like `{ asns: set }` are
+/// ignored) and every `name = HashMap::new()`-shaped binding. Local
+/// declarations *shadow* the global field table: a file whose `accounts`
+/// is a `Vec` arena is not flagged just because some other crate has a
+/// `HashSet` parameter of the same name.
+#[derive(Debug, Default)]
+struct LocalTable {
+    names: Vec<(String, Decl)>,
+}
+
+impl LocalTable {
+    fn record(&mut self, name: &str, decl: Decl) {
+        match self.names.iter_mut().find(|(n, _)| n == name) {
+            Some((_, existing)) => {
+                if decl_rank(decl) > decl_rank(*existing) {
+                    *existing = decl;
+                }
+            }
+            None => self.names.push((name.to_string(), decl)),
+        }
+    }
+
+    fn get(&self, name: &str) -> Option<Decl> {
+        self.names.iter().find(|(n, _)| n == name).map(|(_, d)| *d)
+    }
+}
+
+fn local_table(tokens: &[Token]) -> LocalTable {
+    let mut table = LocalTable::default();
+    for i in 0..tokens.len() {
+        let t = &tokens[i];
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let Some(next) = tokens.get(i + 1) else { break };
+        if next.is_punct(":") {
+            let Some(ty) = type_after_colon(tokens, i + 1) else { continue };
+            match container_class(&ty.text) {
+                Some(d) => table.record(&t.text, d),
+                None if ty.text.starts_with(char::is_uppercase) => {
+                    table.record(&t.text, Decl::Other);
+                }
+                None => {}
+            }
+        } else if next.is_punct("=") {
+            // `name = [std::collections::]HashMap::new()` and friends. Only
+            // container constructors are recorded — `name = some_call()`
+            // tells us nothing about the type.
+            let mut j = i + 2;
+            while let Some(ft) = tokens.get(j) {
+                if ft.kind != TokenKind::Ident {
+                    break;
+                }
+                if let Some(d) = container_class(&ft.text) {
+                    table.record(&t.text, d);
+                    break;
+                }
+                if (ft.is_ident("std") || ft.is_ident("collections") || ft.is_ident("alloc"))
+                    && tokens.get(j + 1).is_some_and(|p| p.is_punct("::"))
+                {
+                    j += 2;
+                    continue;
+                }
+                break;
+            }
+        }
+    }
+    table
+}
+
+/// Where a file sits in the workspace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Section {
+    /// `crates/<k>/src` — product code.
+    Src,
+    /// `crates/<k>/{tests,examples,benches}` or the `tests/` member.
+    TestLike,
+}
+
+#[derive(Debug)]
+struct FileClass {
+    krate: String,
+    section: Section,
+}
+
+fn classify(relpath: &str) -> FileClass {
+    let parts: Vec<&str> = relpath.split('/').collect();
+    match parts.as_slice() {
+        ["crates", k, "src", ..] => FileClass { krate: (*k).to_string(), section: Section::Src },
+        ["crates", k, ..] => FileClass { krate: (*k).to_string(), section: Section::TestLike },
+        _ => FileClass { krate: "tests".to_string(), section: Section::TestLike },
+    }
+}
+
+/// A raw rule match before pragma resolution.
+struct RawMatch {
+    rule: Rule,
+    line: u32,
+    message: String,
+}
+
+/// Check one file. `symbols` must have been built over the whole scan set.
+pub fn check_file(relpath: &str, source: &str, symbols: &SymbolTable) -> Vec<Finding> {
+    let lexed = lex(source);
+    let class = classify(relpath);
+    let tokens = &lexed.tokens;
+    let locals = local_table(tokens);
+    // Local declarations shadow the global field table.
+    let is_hash = |name: &str| -> bool {
+        match locals.get(name) {
+            Some(Decl::Hash) => true,
+            Some(_) => false,
+            None => symbols.is_hash(name),
+        }
+    };
+    let is_btree_only = |name: &str| -> bool {
+        match locals.get(name) {
+            Some(Decl::Btree) => true,
+            Some(_) => false,
+            None => symbols.is_btree_only(name),
+        }
+    };
+    let test_ranges = test_item_ranges(tokens);
+    let in_test = |i: usize| -> bool {
+        class.section == Section::TestLike
+            || test_ranges.iter().any(|&(s, e)| i >= s && i <= e)
+    };
+    let digest_src = |i: usize| -> bool {
+        DIGEST_CRATES.contains(&class.krate.as_str())
+            && class.section == Section::Src
+            && !in_test(i)
+    };
+
+    let mut raw: Vec<RawMatch> = Vec::new();
+    let push = |rule: Rule, line: u32, message: String, raw: &mut Vec<RawMatch>| {
+        if !raw.iter().any(|m| m.rule == rule && m.line == line) {
+            raw.push(RawMatch { rule, line, message });
+        }
+    };
+
+    // --- nondet-iter ------------------------------------------------------
+    for i in 0..tokens.len() {
+        if !digest_src(i) {
+            continue;
+        }
+        // Method calls: `.name(`.
+        if tokens[i].is_punct(".")
+            && i + 2 < tokens.len()
+            && tokens[i + 1].kind == TokenKind::Ident
+            && tokens[i + 2].is_punct("(")
+        {
+            let m = tokens[i + 1].text.as_str();
+            let receiver = i
+                .checked_sub(1)
+                .map(|r| &tokens[r])
+                .filter(|t| t.kind == TokenKind::Ident)
+                .map(|t| t.text.as_str());
+            if ORDER_METHODS_ANY_RECEIVER.contains(&m) {
+                let exempt = receiver.is_some_and(&is_btree_only);
+                if !exempt {
+                    push(
+                        Rule::NondetIter,
+                        tokens[i + 1].line,
+                        format!("`.{m}()` observes hash-iteration order (receiver `{}`)",
+                            receiver.unwrap_or("<expr>")),
+                        &mut raw,
+                    );
+                }
+            } else if ORDER_METHODS_KNOWN_RECEIVER.contains(&m) {
+                if let Some(r) = receiver {
+                    if is_hash(r) {
+                        push(
+                            Rule::NondetIter,
+                            tokens[i + 1].line,
+                            format!("`.{m}()` on `{r}`, which is HashMap/HashSet-typed in this workspace"),
+                            &mut raw,
+                        );
+                    }
+                }
+            }
+        }
+        // `for … in <plain path ending in a hash-typed name> {`.
+        if tokens[i].is_ident("for") {
+            if let Some((line, name)) = for_in_hash_target(tokens, i, &is_hash) {
+                push(
+                    Rule::NondetIter,
+                    line,
+                    format!("`for … in {name}` iterates a HashMap/HashSet-typed binding"),
+                    &mut raw,
+                );
+            }
+        }
+    }
+
+    // --- wall-clock -------------------------------------------------------
+    if !WALL_CLOCK_CRATES.contains(&class.krate.as_str()) {
+        for (i, t) in tokens.iter().enumerate() {
+            if t.is_ident("Instant") || t.is_ident("SystemTime") {
+                push(
+                    Rule::WallClock,
+                    t.line,
+                    format!("`{}` outside crates/obs and crates/bench (use footsteps_obs spans/Stopwatch)", t.text),
+                    &mut raw,
+                );
+            }
+            if t.is_punct(".")
+                && i + 2 < tokens.len()
+                && tokens[i + 1].is_ident("elapsed")
+                && tokens[i + 2].is_punct("(")
+            {
+                push(
+                    Rule::WallClock,
+                    tokens[i + 1].line,
+                    "`.elapsed()` outside crates/obs and crates/bench".to_string(),
+                    &mut raw,
+                );
+            }
+        }
+    }
+
+    // --- ambient-rng ------------------------------------------------------
+    if relpath != RNG_MODULE {
+        for (i, t) in tokens.iter().enumerate() {
+            if t.kind != TokenKind::Ident {
+                continue;
+            }
+            if AMBIENT_RNG_BANNED.contains(&t.text.as_str()) {
+                push(
+                    Rule::AmbientRng,
+                    t.line,
+                    format!("`{}` is ambient randomness; derive streams via sim::rng", t.text),
+                    &mut raw,
+                );
+            }
+            // Raw seeding is how tests pin fixtures, so only non-test
+            // product code is held to the sim::rng derivation.
+            if t.text == "seed_from_u64" && !in_test(i) {
+                push(
+                    Rule::AmbientRng,
+                    t.line,
+                    "raw `seed_from_u64` outside sim::rng; derive seeds via RngFactory/decision_rng"
+                        .to_string(),
+                    &mut raw,
+                );
+            }
+        }
+    }
+
+    // --- env-read ---------------------------------------------------------
+    if class.krate != "obs" && !ENV_READ_FILES.contains(&relpath) {
+        for i in 0..tokens.len() {
+            if class.section != Section::Src || in_test(i) {
+                continue;
+            }
+            if tokens[i].is_ident("env")
+                && i + 2 < tokens.len()
+                && tokens[i + 1].is_punct("::")
+                && (tokens[i + 2].is_ident("var") || tokens[i + 2].is_ident("var_os"))
+            {
+                push(
+                    Rule::EnvRead,
+                    tokens[i + 2].line,
+                    "`env::var` outside the designated config/obs entry points".to_string(),
+                    &mut raw,
+                );
+            }
+        }
+    }
+
+    // --- parallel-metrics -------------------------------------------------
+    if DIGEST_CRATES.contains(&class.krate.as_str()) && class.section == Section::Src {
+        for (s, e) in plan_regions(tokens) {
+            for i in s..=e.min(tokens.len().saturating_sub(1)) {
+                if in_test(i) {
+                    continue;
+                }
+                let t = &tokens[i];
+                if t.kind == TokenKind::Ident && OBS_TOKENS.contains(&t.text.as_str()) {
+                    push(
+                        Rule::ParallelMetrics,
+                        t.line,
+                        format!("`{}` inside a parallel decision-phase shard path; metrics/timings are serial-only", t.text),
+                        &mut raw,
+                    );
+                }
+            }
+        }
+    }
+
+    // --- unsafe-code ------------------------------------------------------
+    if !UNSAFE_ALLOWLIST.contains(&relpath) {
+        for t in tokens {
+            if t.is_ident("unsafe") {
+                push(
+                    Rule::UnsafeCode,
+                    t.line,
+                    "`unsafe` outside the allowlist".to_string(),
+                    &mut raw,
+                );
+            }
+        }
+    }
+
+    resolve_pragmas(relpath, source, &lexed, raw)
+}
+
+/// Apply pragmas to raw matches and report pragma problems.
+fn resolve_pragmas(
+    relpath: &str,
+    source: &str,
+    lexed: &Lexed,
+    raw: Vec<RawMatch>,
+) -> Vec<Finding> {
+    let pragmas: Vec<Pragma> = pragma::collect(&lexed.comments);
+    let mut used = vec![false; pragmas.len()];
+    let snippet = |line: u32| -> String {
+        source
+            .lines()
+            .nth(line.saturating_sub(1) as usize)
+            .unwrap_or("")
+            .trim()
+            .to_string()
+    };
+
+    let mut out: Vec<Finding> = Vec::new();
+    for m in raw {
+        let mut status = PragmaStatus::None;
+        for (pi, p) in pragmas.iter().enumerate() {
+            if p.covers != m.line || p.error.is_some() {
+                continue;
+            }
+            if !p.rules.iter().any(|r| r == m.rule.name()) {
+                continue;
+            }
+            match &p.reason {
+                Some(reason) => {
+                    status = PragmaStatus::Allowed(reason.clone());
+                    used[pi] = true;
+                }
+                None => {
+                    // Reason-less pragmas suppress nothing, but "used" is
+                    // still marked so the error reported is the missing
+                    // reason, not staleness.
+                    status = PragmaStatus::None;
+                    used[pi] = true;
+                }
+            }
+            break;
+        }
+        out.push(Finding {
+            rule: m.rule,
+            file: relpath.to_string(),
+            line: m.line,
+            snippet: snippet(m.line),
+            message: m.message,
+            pragma: status,
+        });
+    }
+
+    for (pi, p) in pragmas.iter().enumerate() {
+        let (status, message) = if let Some(err) = &p.error {
+            (PragmaStatus::Malformed(err.clone()), format!("malformed pragma: {err}"))
+        } else if p.reason.is_none() {
+            (
+                PragmaStatus::MissingReason,
+                "pragma without a reason; write `allow(<rule>) — <why this site is safe>`"
+                    .to_string(),
+            )
+        } else if !used[pi] {
+            (
+                PragmaStatus::Unused,
+                "stale pragma: it suppresses no finding on its line; remove it".to_string(),
+            )
+        } else {
+            continue;
+        };
+        out.push(Finding {
+            rule: Rule::Pragma,
+            file: relpath.to_string(),
+            line: p.line,
+            snippet: snippet(p.line),
+            message,
+            pragma: status,
+        });
+    }
+
+    out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    out
+}
+
+/// Token-index ranges of items marked `#[test]` / `#[cfg(test)]` (and any
+/// `cfg` attribute mentioning `test`, e.g. `cfg(all(test, unix))`).
+fn test_item_ranges(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if !(tokens[i].is_punct("#") && i + 1 < tokens.len() && tokens[i + 1].is_punct("[")) {
+            i += 1;
+            continue;
+        }
+        let attr_start = i;
+        let Some(attr_end) = matching(tokens, i + 1, "[", "]") else {
+            break;
+        };
+        let attr = &tokens[i + 2..attr_end];
+        let is_test_attr = match attr.first() {
+            Some(t) if t.is_ident("test") => attr.len() == 1,
+            Some(t) if t.is_ident("cfg") => attr.iter().any(|t| t.is_ident("test")),
+            _ => false,
+        };
+        if !is_test_attr {
+            i = attr_end + 1;
+            continue;
+        }
+        // Skip any further attributes, then span the annotated item.
+        let mut j = attr_end + 1;
+        while j + 1 < tokens.len() && tokens[j].is_punct("#") && tokens[j + 1].is_punct("[") {
+            match matching(tokens, j + 1, "[", "]") {
+                Some(e) => j = e + 1,
+                None => break,
+            }
+        }
+        let mut depth = 0i32;
+        let mut end = tokens.len().saturating_sub(1);
+        while j < tokens.len() {
+            let t = &tokens[j];
+            if t.is_punct("(") || t.is_punct("[") {
+                depth += 1;
+            } else if t.is_punct(")") || t.is_punct("]") {
+                depth -= 1;
+            } else if t.is_punct("{") && depth == 0 {
+                end = matching(tokens, j, "{", "}").unwrap_or(end);
+                break;
+            } else if t.is_punct(";") && depth == 0 {
+                end = j;
+                break;
+            }
+            j += 1;
+        }
+        out.push((attr_start, end));
+        i = end + 1;
+    }
+    out
+}
+
+/// Index of the token matching the opener at `open_at` (which must hold
+/// `open`), honouring nesting.
+fn matching(tokens: &[Token], open_at: usize, open: &str, close: &str) -> Option<usize> {
+    let mut depth = 0i32;
+    for (i, t) in tokens.iter().enumerate().skip(open_at) {
+        if t.is_punct(open) {
+            depth += 1;
+        } else if t.is_punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+    }
+    None
+}
+
+/// Token ranges of the parallel decision-phase shard paths: bodies of
+/// [`PLAN_FNS`] functions and the argument lists of `plan_parallel(...)`
+/// calls (which contain the per-item plan closures).
+fn plan_regions(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    for i in 0..tokens.len() {
+        if tokens[i].is_ident("fn")
+            && i + 1 < tokens.len()
+            && PLAN_FNS.contains(&tokens[i + 1].text.as_str())
+        {
+            // Find the body `{` at bracket depth 0, then its match.
+            let mut depth = 0i32;
+            let mut j = i + 2;
+            while j < tokens.len() {
+                let t = &tokens[j];
+                if t.is_punct("(") || t.is_punct("[") {
+                    depth += 1;
+                } else if t.is_punct(")") || t.is_punct("]") {
+                    depth -= 1;
+                } else if t.is_punct("{") && depth == 0 {
+                    if let Some(end) = matching(tokens, j, "{", "}") {
+                        out.push((j, end));
+                    }
+                    break;
+                } else if t.is_punct(";") && depth == 0 {
+                    break;
+                }
+                j += 1;
+            }
+        }
+        if tokens[i].is_ident("plan_parallel")
+            && i + 1 < tokens.len()
+            && tokens[i + 1].is_punct("(")
+        {
+            if let Some(end) = matching(tokens, i + 1, "(", ")") {
+                out.push((i + 1, end));
+            }
+        }
+    }
+    out
+}
+
+/// For a `for` keyword at `at`, return `(line, name)` when the iterated
+/// expression is a plain path (`[&][mut] a.b::c.d`) whose final identifier
+/// is hash-typed. Expressions containing calls, literals, or indexing are
+/// left to the method-based detection.
+fn for_in_hash_target(
+    tokens: &[Token],
+    at: usize,
+    is_hash: &dyn Fn(&str) -> bool,
+) -> Option<(u32, String)> {
+    // Locate `in` at pattern depth 0, bailing at `{`/`;` (e.g. `impl … for`).
+    let mut depth = 0i32;
+    let mut j = at + 1;
+    let in_at = loop {
+        let t = tokens.get(j)?;
+        if t.is_punct("(") || t.is_punct("[") {
+            depth += 1;
+        } else if t.is_punct(")") || t.is_punct("]") {
+            depth -= 1;
+        } else if (t.is_punct("{") || t.is_punct(";")) && depth <= 0 {
+            return None;
+        } else if t.is_ident("in") && depth == 0 {
+            break j;
+        }
+        j += 1;
+    };
+    // Collect the expression up to the loop body `{`.
+    let mut expr: Vec<&Token> = Vec::new();
+    let mut k = in_at + 1;
+    loop {
+        let t = tokens.get(k)?;
+        if t.is_punct("{") {
+            break;
+        }
+        expr.push(t);
+        k += 1;
+    }
+    let plain = expr.iter().all(|t| {
+        t.kind == TokenKind::Ident || t.is_punct("&") || t.is_punct(".") || t.is_punct("::")
+    });
+    if !plain || expr.is_empty() {
+        return None;
+    }
+    let last = expr.last()?;
+    if last.kind == TokenKind::Ident && is_hash(&last.text) {
+        Some((tokens[at].line, last.text.clone()))
+    } else {
+        None
+    }
+}

@@ -1,0 +1,6 @@
+// Fixture: declares a hash-typed field consumed from cross_file_b.rs.
+use std::collections::HashSet;
+
+pub struct Roster {
+    pub shared_members: HashSet<u32>,
+}

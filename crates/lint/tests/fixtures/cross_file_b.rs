@@ -1,0 +1,5 @@
+// Fixture: iterates a field whose HashSet declaration lives in another
+// file (cross_file_a.rs) — the global field table must catch this.
+pub fn bad_cross_file(roster: &crate::Roster) -> Vec<u32> {
+    roster.shared_members.iter().copied().collect()
+}

@@ -1,0 +1,5 @@
+// Fixture: env-read. A violation at a detect path, clean when linted as
+// crates/core/src/scenario.rs (the designated config entry point).
+pub fn knob() -> Option<String> {
+    std::env::var("FOOTSTEPS_HACK").ok()
+}

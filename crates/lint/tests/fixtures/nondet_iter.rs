@@ -1,0 +1,35 @@
+// Fixture: nondet-iter. Linted as if at crates/sim/src/nondet_iter.rs.
+use std::collections::{BTreeMap, HashMap};
+
+pub struct Book {
+    pub by_owner: HashMap<u32, u32>,
+    pub sorted: BTreeMap<u32, u32>,
+    pub dense: Vec<u32>,
+}
+
+impl Book {
+    pub fn bad_values(&self) -> u32 {
+        self.by_owner.values().sum()
+    }
+
+    pub fn allowed_values(&self) -> u32 {
+        // footsteps-lint: allow(nondet-iter) — order-insensitive sum
+        self.by_owner.values().sum()
+    }
+
+    pub fn ok_btree(&self) -> u32 {
+        self.sorted.values().sum()
+    }
+
+    pub fn ok_vec(&self) -> u32 {
+        self.dense.iter().sum()
+    }
+
+    pub fn bad_for(&self) -> usize {
+        let mut n = 0;
+        for (_k, _v) in &self.by_owner {
+            n += 1;
+        }
+        n
+    }
+}

@@ -1,0 +1,11 @@
+// Fixture: parallel-metrics. Observability access inside a plan function
+// body is a violation; the same access on the serial apply path is fine.
+pub fn plan_parallel(items: &[u32]) -> Vec<u32> {
+    let out = items.to_vec();
+    metrics.incr("aas.plans");
+    out
+}
+
+pub fn serial_apply() {
+    metrics.incr("aas.apply");
+}

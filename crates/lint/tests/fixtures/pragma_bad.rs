@@ -1,0 +1,23 @@
+// Fixture: pragma problems. A reason-less pragma suppresses nothing and
+// is itself flagged; an unknown rule is malformed; a pragma covering a
+// clean line is stale.
+use std::collections::HashMap;
+
+pub struct S {
+    pub m: HashMap<u32, u32>,
+}
+
+impl S {
+    pub fn no_reason(&self) -> u32 {
+        // footsteps-lint: allow(nondet-iter)
+        self.m.values().sum()
+    }
+
+    pub fn unknown_rule(&self) -> u32 {
+        // footsteps-lint: allow(made-up-rule) — not a rule we have
+        self.m.values().sum()
+    }
+}
+
+// footsteps-lint: allow(nondet-iter) — nothing on the next line to suppress
+pub fn stale() {}

@@ -1,0 +1,4 @@
+// Fixture: unsafe-code. The allowlist is empty, so any occurrence fires.
+pub fn peek(v: &[u8]) -> u8 {
+    unsafe { *v.get_unchecked(0) }
+}

@@ -1,0 +1,7 @@
+// Fixture: wall-clock. A violation at a sim/aas path, clean under
+// crates/obs (the test lints the same content at both relpaths).
+pub fn stamp() -> u64 {
+    let t = std::time::Instant::now();
+    let _ = t.elapsed();
+    0
+}

@@ -1,0 +1,195 @@
+//! Per-rule behaviour pinned against the fixture corpus, plus the meta
+//! test that the live workspace is clean via the exact entry point CI
+//! runs (`lint_workspace`).
+//!
+//! Fixtures are loaded with `include_str!` and linted under *synthetic*
+//! relative paths so each test can place the same content inside or
+//! outside a rule's scope. The fixture directory itself is skipped by
+//! the walker, so none of this corpus leaks into the workspace scan.
+
+use std::path::Path;
+
+use footsteps_lint::{lint_files, lint_workspace, violation_count, Finding, PragmaStatus, Rule};
+
+const NONDET_ITER: &str = include_str!("fixtures/nondet_iter.rs");
+const CROSS_FILE_A: &str = include_str!("fixtures/cross_file_a.rs");
+const CROSS_FILE_B: &str = include_str!("fixtures/cross_file_b.rs");
+const WALL_CLOCK: &str = include_str!("fixtures/wall_clock.rs");
+const AMBIENT_RNG: &str = include_str!("fixtures/ambient_rng.rs");
+const ENV_READ: &str = include_str!("fixtures/env_read.rs");
+const PARALLEL_METRICS: &str = include_str!("fixtures/parallel_metrics.rs");
+const UNSAFE_CODE: &str = include_str!("fixtures/unsafe_code.rs");
+const PRAGMA_BAD: &str = include_str!("fixtures/pragma_bad.rs");
+
+/// Lint one in-memory file at a synthetic workspace-relative path.
+fn lint_one(relpath: &str, source: &str) -> Vec<Finding> {
+    lint_files(&[(relpath.to_string(), source.to_string())])
+}
+
+fn by_rule(findings: &[Finding], rule: Rule) -> Vec<&Finding> {
+    findings.iter().filter(|f| f.rule == rule).collect()
+}
+
+#[test]
+fn nondet_iter_flags_hash_iteration_in_digest_src() {
+    let findings = lint_one("crates/sim/src/nondet_iter.rs", NONDET_ITER);
+    let hits = by_rule(&findings, Rule::NondetIter);
+    // `.values()` on the hash field, the pragma-allowed copy, and the
+    // `for … in` loop — nothing on the BTreeMap or Vec receivers.
+    assert_eq!(hits.len(), 3, "findings: {findings:#?}");
+    let violations: Vec<_> = hits.iter().filter(|f| f.is_violation()).collect();
+    assert_eq!(violations.len(), 2, "findings: {findings:#?}");
+    assert!(violations.iter().any(|f| f.snippet.contains("for (_k, _v)")));
+    // The annotated site is reported but does not fail the build, and
+    // its reason survives into the finding.
+    let allowed: Vec<_> = hits
+        .iter()
+        .filter(|f| matches!(f.pragma, PragmaStatus::Allowed(_)))
+        .collect();
+    assert_eq!(allowed.len(), 1);
+    match &allowed[0].pragma {
+        PragmaStatus::Allowed(reason) => assert!(reason.contains("order-insensitive")),
+        other => panic!("expected Allowed, got {other:?}"),
+    }
+    // The pragma was consumed, so no staleness finding rides along.
+    assert!(by_rule(&findings, Rule::Pragma).is_empty(), "findings: {findings:#?}");
+}
+
+#[test]
+fn nondet_iter_inactive_outside_digest_crates() {
+    // Same content in a non-digest crate: the iteration rule stays quiet.
+    let findings = lint_one("crates/lint/src/nondet_iter.rs", NONDET_ITER);
+    assert!(by_rule(&findings, Rule::NondetIter).is_empty(), "findings: {findings:#?}");
+}
+
+#[test]
+fn nondet_iter_sees_field_types_across_files() {
+    // The HashSet declaration lives in file A; the iteration in file B.
+    let files = vec![
+        ("crates/sim/src/cross_file_a.rs".to_string(), CROSS_FILE_A.to_string()),
+        ("crates/sim/src/cross_file_b.rs".to_string(), CROSS_FILE_B.to_string()),
+    ];
+    let findings = lint_files(&files);
+    let hits = by_rule(&findings, Rule::NondetIter);
+    assert_eq!(hits.len(), 1, "findings: {findings:#?}");
+    assert_eq!(hits[0].file, "crates/sim/src/cross_file_b.rs");
+    assert!(hits[0].message.contains("shared_members"));
+    // Without file A in the scan set the receiver's type is unknown and
+    // `.iter()` on it cannot be blamed.
+    let alone = lint_one("crates/sim/src/cross_file_b.rs", CROSS_FILE_B);
+    assert!(by_rule(&alone, Rule::NondetIter).is_empty(), "findings: {alone:#?}");
+}
+
+#[test]
+fn wall_clock_confined_to_obs_and_bench() {
+    let outside = lint_one("crates/aas/src/wall_clock.rs", WALL_CLOCK);
+    let hits = by_rule(&outside, Rule::WallClock);
+    // The type name and the `.elapsed()` call are separate findings.
+    assert_eq!(hits.len(), 2, "findings: {outside:#?}");
+    assert!(outside.iter().all(|f| f.is_violation()));
+
+    for exempt in ["crates/obs/src/wall_clock.rs", "crates/bench/src/wall_clock.rs"] {
+        let findings = lint_one(exempt, WALL_CLOCK);
+        assert!(findings.is_empty(), "{exempt}: {findings:#?}");
+    }
+}
+
+#[test]
+fn ambient_rng_banned_outside_rng_module() {
+    let findings = lint_one("crates/sim/src/ambient_rng.rs", AMBIENT_RNG);
+    let hits = by_rule(&findings, Rule::AmbientRng);
+    // The ambient source and the raw non-test seed; the seed inside
+    // `#[cfg(test)]` is how tests pin fixtures and stays legal.
+    assert_eq!(hits.len(), 2, "findings: {findings:#?}");
+    assert!(hits.iter().any(|f| f.message.contains("ambient randomness")));
+    assert!(hits.iter().any(|f| f.message.contains("seed_from_u64")));
+    assert!(!hits.iter().any(|f| f.line >= 10), "test-mod seed was flagged: {findings:#?}");
+
+    // The one module allowed to construct RNGs from raw seeds.
+    let in_rng = lint_one("crates/sim/src/rng.rs", AMBIENT_RNG);
+    assert!(by_rule(&in_rng, Rule::AmbientRng).is_empty(), "findings: {in_rng:#?}");
+}
+
+#[test]
+fn env_read_confined_to_entry_points() {
+    let outside = lint_one("crates/detect/src/env_read.rs", ENV_READ);
+    let hits = by_rule(&outside, Rule::EnvRead);
+    assert_eq!(hits.len(), 1, "findings: {outside:#?}");
+    assert!(hits[0].is_violation());
+
+    // The designated config entry point, and test-like code, read freely.
+    for exempt in ["crates/core/src/scenario.rs", "crates/detect/tests/env_read.rs"] {
+        let findings = lint_one(exempt, ENV_READ);
+        assert!(by_rule(&findings, Rule::EnvRead).is_empty(), "{exempt}: {findings:#?}");
+    }
+}
+
+#[test]
+fn parallel_metrics_denied_in_plan_paths() {
+    let findings = lint_one("crates/aas/src/parallel_metrics.rs", PARALLEL_METRICS);
+    let hits = by_rule(&findings, Rule::ParallelMetrics);
+    // Only the recording inside `plan_parallel`; the serial path is fine.
+    assert_eq!(hits.len(), 1, "findings: {findings:#?}");
+    assert!(hits[0].snippet.contains("aas.plans"));
+}
+
+#[test]
+fn unsafe_code_always_flagged() {
+    // Even test-like sections are held to the (empty) allowlist.
+    for path in ["crates/sim/src/unsafe_code.rs", "crates/lint/tests/unsafe_code.rs"] {
+        let findings = lint_one(path, UNSAFE_CODE);
+        let hits = by_rule(&findings, Rule::UnsafeCode);
+        assert_eq!(hits.len(), 1, "{path}: {findings:#?}");
+        assert!(hits[0].is_violation());
+    }
+}
+
+#[test]
+fn pragma_problems_are_findings() {
+    let findings = lint_one("crates/sim/src/pragma_bad.rs", PRAGMA_BAD);
+    // Both `.values()` sites still fail the build: a reason-less pragma
+    // and an unknown-rule pragma suppress nothing.
+    let iter_hits = by_rule(&findings, Rule::NondetIter);
+    assert_eq!(iter_hits.len(), 2, "findings: {findings:#?}");
+    assert!(iter_hits.iter().all(|f| f.is_violation()));
+
+    let pragma_hits = by_rule(&findings, Rule::Pragma);
+    assert_eq!(pragma_hits.len(), 3, "findings: {findings:#?}");
+    assert!(pragma_hits
+        .iter()
+        .any(|f| matches!(f.pragma, PragmaStatus::MissingReason)));
+    assert!(pragma_hits
+        .iter()
+        .any(|f| matches!(f.pragma, PragmaStatus::Malformed(_))));
+    assert!(pragma_hits.iter().any(|f| matches!(f.pragma, PragmaStatus::Unused)));
+    // Every pragma problem is itself a violation.
+    assert!(pragma_hits.iter().all(|f| f.is_violation()));
+
+    assert_eq!(violation_count(&findings), 5);
+}
+
+/// The meta test: the live workspace must be clean through the same
+/// entry point the CI gate runs. A regression anywhere in the product
+/// crates fails here before it fails in `scripts/ci.sh`.
+#[test]
+fn workspace_is_lint_clean() {
+    let root = footsteps_lint::walker::find_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root with [workspace] manifest");
+    let findings = lint_workspace(&root).expect("workspace scan");
+    let violations: Vec<_> = findings.iter().filter(|f| f.is_violation()).collect();
+    assert!(
+        violations.is_empty(),
+        "workspace has lint violations:\n{}",
+        violations
+            .iter()
+            .map(|f| format!("  {}:{} [{}] {}", f.file, f.line, f.rule.name(), f.message))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    // The scan actually covered the product crates (guards against the
+    // walker silently finding nothing and vacuously passing).
+    assert!(
+        findings.iter().any(|f| matches!(f.pragma, PragmaStatus::Allowed(_))),
+        "expected at least one pragma-annotated site in the workspace"
+    );
+}

@@ -17,13 +17,15 @@
 //! platform. The `progress!` macro (see [`progress`]) replaces ad-hoc
 //! status `eprintln!`s and respects `FOOTSTEPS_QUIET`.
 
+#![forbid(unsafe_code)]
+
 pub mod progress;
 pub mod registry;
 pub mod span;
 pub mod trace;
 
 pub use registry::{Frame, Histogram, MetricsRegistry, MetricsSnapshot};
-pub use span::{SpanStats, SpanTimer, Timings, TimingsSnapshot};
+pub use span::{SpanStats, SpanTimer, Stopwatch, Timings, TimingsSnapshot};
 pub use trace::{Trace, TraceEvent, TraceSnapshot, DEFAULT_TRACE_CAPACITY};
 
 /// The full observability kit: deterministic metrics, quarantined

@@ -80,6 +80,31 @@ impl Timings {
     }
 }
 
+/// A bare wall-clock stopwatch for spans whose names are computed at run
+/// time (e.g. `aas.<slug>.decision`), which [`Timings::start`]'s
+/// `&'static str` API cannot express.
+///
+/// This is the only sanctioned way for code outside `footsteps-obs` and
+/// `footsteps-bench` to read wall-clock: measure with a `Stopwatch`, then
+/// hand the seconds to [`Timings::record`]. `footsteps-lint`'s wall-clock
+/// rule keeps `Instant`/`SystemTime` out of the product crates.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    started: Instant,
+}
+
+impl Stopwatch {
+    /// Start timing now.
+    pub fn start() -> Self {
+        Self { started: Instant::now() }
+    }
+
+    /// Seconds elapsed since [`Stopwatch::start`].
+    pub fn elapsed_secs(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+}
+
 /// An in-flight span. Holds the start instant; hand it back to
 /// [`Timings::finish`] to record.
 #[derive(Debug)]

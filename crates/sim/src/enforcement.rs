@@ -34,7 +34,7 @@ pub enum Countermeasure {
 /// §6.2: "we track the number of **outbound** actions from Instagram
 /// accounts used by the Reciprocity Abuse AASs, and we track the number of
 /// **inbound** actions from accounts used by the Collusion Network AAS."
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum Direction {
     /// The account in `EnforcementContext::actor` is *performing* actions.
     Outbound,
@@ -114,7 +114,9 @@ pub struct NoEnforcement;
 /// context (plus their own configuration): the experiment in §6.3 fixed its
 /// thresholds at the start "to prevent an adversary from affecting the false
 /// positive rate".
-pub trait EnforcementPolicy {
+/// `Debug` is a supertrait so containers holding a `Box<dyn
+/// EnforcementPolicy>` (the [`crate::platform::Platform`]) can derive it.
+pub trait EnforcementPolicy: std::fmt::Debug {
     /// Decide what happens to a submission.
     fn evaluate(&self, ctx: &EnforcementContext) -> EnforcementDecision;
 }

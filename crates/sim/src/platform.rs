@@ -266,6 +266,7 @@ fn take_day_queue<T>(queue: &mut Vec<Vec<T>>, day: Day) -> Vec<T> {
 }
 
 /// The simulated platform.
+#[derive(Debug)]
 pub struct Platform {
     /// Simulation clock, advanced by the engine.
     pub clock: SimClock,
@@ -1305,6 +1306,8 @@ mod tests {
     use crate::net::AsnKind;
     use rand::SeedableRng;
 
+    #[derive(Debug)]
+
     struct FixedThreshold {
         threshold: u32,
         cm: Countermeasure,
@@ -1462,6 +1465,8 @@ mod tests {
         let kinds: Vec<_> = p.obs.trace.iter().map(|e| e.kind).collect();
         assert_eq!(kinds, vec!["enforce.block"]);
     }
+
+    #[derive(Debug)]
 
     struct BinTagged(FixedThreshold);
 

@@ -12,6 +12,11 @@ export CARGO_NET_OFFLINE=true
 echo "== build (release, -Dwarnings) =="
 cargo build --release
 
+echo "== lint (footsteps-lint determinism & safety pass) =="
+# Machine-checks the determinism contract (DESIGN.md §6); findings are
+# written as JSON for post-mortem even when the gate passes.
+cargo run --release -q -p footsteps-lint -- --json-out /tmp/footsteps_lint.ci.json
+
 echo "== test =="
 cargo test -q
 
@@ -25,7 +30,17 @@ FRESH_FILE="/tmp/BENCH_daily_engine.ci.json"
 TOLERANCE="${FOOTSTEPS_PERF_TOLERANCE:-0.85}"
 
 extract_days_per_sec() {
-  sed -n 's/.*"days_per_sec": *\([0-9.]*\).*/\1/p' "$1" | head -n 1
+  # Accepts plain decimals and scientific notation (1234.5, 1.2345e3);
+  # the old [0-9.]* pattern silently truncated "1.2e3" to "1.2".
+  sed -n 's/.*"days_per_sec": *\(-\{0,1\}[0-9][0-9]*\(\.[0-9][0-9]*\)\{0,1\}\([eE][+-]\{0,1\}[0-9][0-9]*\)\{0,1\}\).*/\1/p' "$1" | head -n 1
+}
+
+# A throughput must be a finite positive number, or the gate is meaningless.
+check_positive_number() {
+  awk -v v="$2" 'BEGIN { exit !(v + 0 > 0) }' || {
+    echo "perf gate: unparseable days_per_sec in $1 (got '$2')" >&2
+    exit 1
+  }
 }
 
 baseline=$(extract_days_per_sec "$BASELINE_FILE")
@@ -34,6 +49,8 @@ if [ -z "$baseline" ] || [ -z "$fresh" ]; then
   echo "perf gate: could not extract days_per_sec (baseline='$baseline', fresh='$fresh')" >&2
   exit 1
 fi
+check_positive_number "$BASELINE_FILE" "$baseline"
+check_positive_number "$FRESH_FILE" "$fresh"
 echo "baseline: $baseline days/sec ($BASELINE_FILE)"
 echo "fresh:    $fresh days/sec ($FRESH_FILE)"
 if ! awk -v f="$fresh" -v b="$baseline" -v t="$TOLERANCE" \
