@@ -148,7 +148,7 @@ struct MemberPlan {
 pub const ADS_ACCOUNT: AccountId = AccountId(u32::MAX);
 
 /// A running collusion-network service.
-#[derive(Debug)]
+#[derive(Debug, Serialize, Deserialize)]
 pub struct CollusionService {
     config: CollusionConfig,
     customers: CustomerBook,

@@ -115,7 +115,7 @@ struct CustomerPlan {
 }
 
 /// A running reciprocity-abuse service.
-#[derive(Debug)]
+#[derive(Debug, Serialize, Deserialize)]
 pub struct ReciprocityService {
     config: ReciprocityConfig,
     customers: CustomerBook,

@@ -27,6 +27,26 @@ pub fn percentile(values: &[f64], p: f64) -> Option<f64> {
     Some(sorted[rank - 1])
 }
 
+/// Nearest-rank percentiles at several probes with one sort, ordered by
+/// IEEE-754 `total_cmp` so the result is deterministic for *any* input
+/// (including NaN/±0.0, which `percentile` rejects). `None` for empty data.
+pub fn percentiles(values: &[f64], ps: &[f64]) -> Option<Vec<f64>> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    Some(
+        ps.iter()
+            .map(|&p| {
+                debug_assert!((0.0..=1.0).contains(&p));
+                let rank = ((sorted.len() as f64 * p).ceil() as usize).clamp(1, sorted.len());
+                sorted[rank - 1]
+            })
+            .collect(),
+    )
+}
+
 /// Median (nearest-rank upper median) of unsorted data.
 pub fn median(values: &[f64]) -> Option<f64> {
     percentile(values, 0.5)
@@ -40,6 +60,85 @@ pub fn median_u32(values: &[u32]) -> Option<f64> {
     let mut sorted = values.to_vec();
     sorted.sort_unstable();
     Some(f64::from(sorted[(sorted.len() - 1) / 2]))
+}
+
+/// Streaming mean/variance accumulator (Welford's algorithm), mergeable via
+/// Chan et al.'s parallel update. Used by the sweep aggregator to summarise
+/// per-seed results without holding every sample, and exact enough that the
+/// order of `push`/`merge` calls never changes the reported mean by more
+/// than floating-point noise.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Welford {
+    count: u64,
+    mean: f64,
+    /// Sum of squared deviations from the running mean.
+    m2: f64,
+}
+
+impl Welford {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Absorb one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Absorb another accumulator (Chan et al. pairwise update).
+    pub fn merge(&mut self, other: &Welford) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+    }
+
+    /// Number of observations absorbed.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of the observations (0 for empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance (0 for fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Sample variance, Bessel-corrected (0 for fewer than two observations).
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation (0 for fewer than two observations).
+    pub fn std_dev(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
 }
 
 /// An empirical cumulative distribution function over integer observations
@@ -163,5 +262,65 @@ mod tests {
     #[should_panic(expected = "at least one observation")]
     fn ecdf_rejects_empty() {
         Ecdf::new(vec![]);
+    }
+
+    #[test]
+    fn welford_single_sample() {
+        let mut w = Welford::new();
+        assert_eq!(w.count(), 0);
+        assert_eq!(w.mean(), 0.0);
+        w.push(42.5);
+        assert_eq!(w.count(), 1);
+        assert_eq!(w.mean(), 42.5);
+        assert_eq!(w.variance(), 0.0);
+        assert_eq!(w.sample_variance(), 0.0);
+        assert_eq!(w.std_dev(), 0.0);
+    }
+
+    #[test]
+    fn welford_constant_series_has_zero_variance() {
+        let mut w = Welford::new();
+        for _ in 0..1000 {
+            w.push(3.25);
+        }
+        assert_eq!(w.count(), 1000);
+        assert_eq!(w.mean(), 3.25);
+        assert_eq!(w.variance(), 0.0);
+        assert_eq!(w.std_dev(), 0.0);
+    }
+
+    #[test]
+    fn welford_merge_matches_single_accumulator() {
+        let xs: Vec<f64> = (0..50).map(|i| f64::from(i) * 1.7 - 11.0).collect();
+        let (left, right) = xs.split_at(17);
+        let mut a = Welford::new();
+        let mut b = Welford::new();
+        left.iter().for_each(|&x| a.push(x));
+        right.iter().for_each(|&x| b.push(x));
+        let mut whole = Welford::new();
+        xs.iter().for_each(|&x| whole.push(x));
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-12);
+        assert!((a.sample_variance() - whole.sample_variance()).abs() < 1e-9);
+        // Merging an empty accumulator in either direction is the identity.
+        let mut empty = Welford::new();
+        empty.merge(&whole);
+        assert_eq!(empty, whole);
+        let before = whole;
+        whole.merge(&Welford::new());
+        assert_eq!(whole, before);
+    }
+
+    #[test]
+    fn percentiles_match_percentile_and_order_nan_last() {
+        let v: Vec<f64> = (1..=100).map(f64::from).collect();
+        let ps = percentiles(&v, &[0.5, 0.9, 0.99]).unwrap();
+        assert_eq!(ps, vec![50.0, 90.0, 99.0]);
+        assert_eq!(percentiles(&[], &[0.5]), None);
+        // total_cmp puts NaN at the top instead of panicking.
+        let got = percentiles(&[f64::NAN, 1.0, 2.0], &[0.5, 1.0]).unwrap();
+        assert_eq!(got[0], 2.0);
+        assert!(got[1].is_nan());
     }
 }

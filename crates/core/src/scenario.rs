@@ -119,6 +119,23 @@ impl Scenario {
         }
     }
 
+    /// The smallest useful scenario: smoke mechanics with a short
+    /// epilogue and a thinner background, for orchestrator end-to-end
+    /// tests and demos where wall time matters more than statistical
+    /// weight. Not tied to any golden digest.
+    pub fn quick(seed: u64) -> Self {
+        Self {
+            population_size: 2_000,
+            characterization_days: 16,
+            narrow_days: 7,
+            broad_days: 8,
+            epilogue_days: 7,
+            background_daily_actors: 120,
+            background_blend_actors: 15,
+            ..Self::smoke(seed)
+        }
+    }
+
     /// Validate internal consistency.
     pub fn is_valid(&self) -> bool {
         self.scale > 0.0

@@ -74,7 +74,14 @@ pub enum Phase {
 }
 
 /// A full study world.
-#[derive(Debug)]
+///
+/// The whole struct serializes, which is what makes phase-boundary
+/// checkpoints (`footsteps-sweep`) possible: every RNG stream position,
+/// arena and pending queue round-trips, so a resumed study replays the
+/// exact byte stream of an uninterrupted one. The only non-serialized
+/// state is inside [`Platform`] (the installed policy and the metrics
+/// recorder), and every phase method reinstalls its policy at entry.
+#[derive(Debug, Serialize, Deserialize)]
 pub struct Study {
     /// The configuration this study was built from.
     pub scenario: Scenario,

@@ -10,9 +10,10 @@ use crate::signature::{extract_all, ServiceSignature};
 use crate::threshold::{compute_thresholds, ThresholdTable};
 use footsteps_honeypot::HoneypotFramework;
 use footsteps_sim::prelude::*;
+use serde::{Deserialize, Serialize};
 
 /// Everything the detection side learned from a calibration window.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct DetectionPipeline {
     /// Per-service network+client signatures.
     pub signatures: Vec<ServiceSignature>,

@@ -12,6 +12,7 @@ use crate::framework::{HoneypotFramework, HoneypotKind};
 use footsteps_aas::catalog::offerings;
 use footsteps_aas::{CollusionService, PaymentLedger, ReciprocityService};
 use footsteps_sim::prelude::*;
+use serde::{Deserialize, Serialize};
 
 /// Anything a honeypot can register with.
 pub trait Registrar {
@@ -73,7 +74,7 @@ impl Registrar for CollusionService {
 }
 
 /// Outcome of one campaign: the accounts registered per action type.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CampaignReport {
     /// Service targeted.
     pub service: ServiceId,

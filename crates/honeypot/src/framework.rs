@@ -47,7 +47,7 @@ impl HoneypotKind {
 }
 
 /// Ledger entry for one honeypot account.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize)]
 pub struct HoneypotRecord {
     /// The platform account.
     pub account: AccountId,
@@ -67,8 +67,44 @@ pub struct HoneypotRecord {
     pub deleted: bool,
 }
 
+/// `theme` is a `&'static str` drawn from [`PHOTO_THEMES`]; deserialization
+/// re-interns the stored string against that table so checkpointed records
+/// round-trip without owning the theme text.
+impl serde::Deserialize for HoneypotRecord {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        fn field<T: serde::Deserialize>(
+            v: &serde::Value,
+            name: &str,
+        ) -> Result<T, serde::Error> {
+            let f = v
+                .get_field(name)
+                .ok_or_else(|| serde::Error::custom(format!("missing field `{name}`")))?;
+            T::from_value(f)
+                .map_err(|e| serde::Error::custom(format!("field `{name}`: {e}")))
+        }
+        let theme_owned: String = field(v, "theme")?;
+        let theme = PHOTO_THEMES
+            .iter()
+            .copied()
+            .find(|t| *t == theme_owned)
+            .ok_or_else(|| {
+                serde::Error::custom(format!("unknown honeypot theme `{theme_owned}`"))
+            })?;
+        Ok(Self {
+            account: field(v, "account")?,
+            kind: field(v, "kind")?,
+            theme,
+            service: field(v, "service")?,
+            requested: field(v, "requested")?,
+            paid: field(v, "paid")?,
+            enrolled_on: field(v, "enrolled_on")?,
+            deleted: field(v, "deleted")?,
+        })
+    }
+}
+
 /// The framework: a factory and registry for honeypot accounts.
-#[derive(Debug)]
+#[derive(Debug, Serialize, Deserialize)]
 pub struct HoneypotFramework {
     records: Vec<HoneypotRecord>,
     celebrities: Vec<AccountId>,

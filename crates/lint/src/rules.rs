@@ -25,10 +25,15 @@ use crate::pragma::{self, Pragma};
 
 /// Crates whose `src` feeds the golden digest: order-observing iteration
 /// over hash containers there is a correctness bug unless proven safe.
-pub const DIGEST_CRATES: &[&str] = &["sim", "aas", "detect", "intervene", "analysis", "core"];
+/// `sweep` is held to the same bar — its checkpoint/resume and aggregation
+/// paths must reproduce the per-seed digests byte for byte.
+pub const DIGEST_CRATES: &[&str] =
+    &["sim", "aas", "detect", "intervene", "analysis", "core", "sweep"];
 
 /// Crates allowed to touch wall-clock (`Instant`, `SystemTime`, `elapsed`).
-pub const WALL_CLOCK_CRATES: &[&str] = &["obs", "bench"];
+/// `sweep` stamps manifest entries with wall-clock times; those stamps are
+/// bookkeeping for humans and never feed a digest.
+pub const WALL_CLOCK_CRATES: &[&str] = &["obs", "bench", "sweep"];
 
 /// The only file allowed to construct RNGs from raw seeds in non-test code.
 pub const RNG_MODULE: &str = "crates/sim/src/rng.rs";

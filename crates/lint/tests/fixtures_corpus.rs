@@ -168,6 +168,30 @@ fn pragma_problems_are_findings() {
     assert_eq!(violation_count(&findings), 5);
 }
 
+#[test]
+fn sweep_is_a_digest_crate_with_wall_clock_exemption() {
+    // The orchestrator crate is held to the determinism rules on its
+    // deterministic paths: hash-order iteration and ambient randomness are
+    // violations in `crates/sweep/src` exactly as in `crates/sim/src`.
+    let iter = lint_one("crates/sweep/src/aggregate.rs", NONDET_ITER);
+    let iter_hits = by_rule(&iter, Rule::NondetIter);
+    assert_eq!(iter_hits.len(), 3, "findings: {iter:#?}");
+    assert_eq!(
+        iter_hits.iter().filter(|f| f.is_violation()).count(),
+        2,
+        "findings: {iter:#?}"
+    );
+
+    let rng = lint_one("crates/sweep/src/scheduler.rs", AMBIENT_RNG);
+    let rng_hits = by_rule(&rng, Rule::AmbientRng);
+    assert_eq!(rng_hits.len(), 2, "findings: {rng:#?}");
+    assert!(rng_hits.iter().all(|f| f.is_violation()));
+
+    // What sweep *is* exempt from: wall-clock manifest timestamps.
+    let clock = lint_one("crates/sweep/src/manifest.rs", WALL_CLOCK);
+    assert!(by_rule(&clock, Rule::WallClock).is_empty(), "findings: {clock:#?}");
+}
+
 /// The meta test: the live workspace must be clean through the same
 /// entry point the CI gate runs. A regression anywhere in the product
 /// crates fails here before it fails in `scripts/ci.sh`.

@@ -219,6 +219,22 @@ impl MetricsSnapshot {
         self.totals.counters.get(key).copied().unwrap_or(0)
     }
 
+    /// Merge another run's snapshot into this one, phase-aligned by name:
+    /// counters sum, gauges last-write-wins, histograms merge bucket-wise
+    /// (mismatched bounds fall back to the other's histogram, as in
+    /// [`Frame`] totals merging). Phases present only in `other` are
+    /// appended in their original order. Used by the sweep aggregator to
+    /// fold per-seed snapshots into one cross-seed view.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (name, frame) in &other.phases {
+            match self.phases.iter_mut().find(|(n, _)| n == name) {
+                Some((_, mine)) => mine.merge(frame),
+                None => self.phases.push((name.clone(), frame.clone())),
+            }
+        }
+        self.totals.merge(&other.totals);
+    }
+
     /// Counters in the totals frame whose key starts with `prefix`,
     /// in sorted key order.
     pub fn counters_with_prefix<'a>(
@@ -363,6 +379,28 @@ mod tests {
         let json = snap.to_json();
         let back: MetricsSnapshot = serde_json::from_str(&json).expect("parse");
         assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn snapshot_merge_aligns_phases_and_sums_totals() {
+        let mut a_reg = MetricsRegistry::new();
+        a_reg.begin_phase("characterization");
+        a_reg.add("likes", 10);
+        let mut a = a_reg.snapshot();
+
+        let mut b_reg = MetricsRegistry::new();
+        b_reg.begin_phase("characterization");
+        b_reg.add("likes", 5);
+        b_reg.begin_phase("narrow");
+        b_reg.add("blocks", 2);
+        let b = b_reg.snapshot();
+
+        a.merge(&b);
+        assert_eq!(a.counter("likes"), 15);
+        assert_eq!(a.counter("blocks"), 2);
+        let char_frame = &a.phases.iter().find(|(n, _)| n == "characterization").unwrap().1;
+        assert_eq!(char_frame.counters["likes"], 15);
+        assert!(a.phases.iter().any(|(n, _)| n == "narrow"));
     }
 
     #[test]

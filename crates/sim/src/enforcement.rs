@@ -127,6 +127,15 @@ impl EnforcementPolicy for NoEnforcement {
     }
 }
 
+/// The default installed policy is "no countermeasures". Checkpoints skip
+/// the boxed policy (it is not data: every study phase installs its own at
+/// entry), and deserialization refills the field with this default.
+impl Default for Box<dyn EnforcementPolicy> {
+    fn default() -> Self {
+        Box::new(NoEnforcement)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -266,7 +266,14 @@ fn take_day_queue<T>(queue: &mut Vec<Vec<T>>, day: Day) -> Vec<T> {
 }
 
 /// The simulated platform.
-#[derive(Debug)]
+///
+/// Serialization covers every field that is *state*: the clock, arenas,
+/// logs, pending queues, counters and the RNG stream. The two skipped
+/// fields are resupplied on resume — the enforcement policy because each
+/// study phase installs its own policy at entry (so a phase-boundary
+/// checkpoint never needs the old box), and the observability recorder
+/// because metrics are excluded from result digests by design.
+#[derive(Debug, Serialize, Deserialize)]
 pub struct Platform {
     /// Simulation clock, advanced by the engine.
     pub clock: SimClock,
@@ -284,7 +291,9 @@ pub struct Platform {
     /// `FOOTSTEPS_TRACE`-gated event trace. Metrics are recorded only on the
     /// serial mutation paths below, so the snapshot is identical for any
     /// decision-phase worker count.
+    #[serde(skip)]
     pub obs: footsteps_obs::Recorder,
+    #[serde(skip)]
     policy: Box<dyn EnforcementPolicy>,
     oauth_quota: DenseWindowLimiter,
     /// Per-IP delivered volume, indexed by `ip - IP_BASE`, day-stamped.

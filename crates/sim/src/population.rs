@@ -54,7 +54,7 @@ impl Default for PopulationConfig {
 }
 
 /// Index of residential ASNs grouped by country, for assigning home ASNs.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct ResidentialIndex {
     by_country: HashMap<Country, Vec<AsnId>>,
     fallback: Vec<AsnId>,

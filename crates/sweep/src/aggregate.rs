@@ -1,0 +1,312 @@
+//! Cross-seed aggregation: streaming Welford moments and percentile
+//! summaries over per-seed [`StudyResults`], rendered as the paper's
+//! tables with error bars.
+//!
+//! One seed gives a point estimate; the sweep's purpose is the spread.
+//! Every quantity is accumulated with
+//! [`footsteps_analysis::stats::Welford`] (numerically stable, mergeable)
+//! keyed by the row labels, so rows align across seeds regardless of
+//! their in-file order. Metrics snapshots merge phase-aligned via
+//! [`MetricsSnapshot::merge`].
+
+use footsteps_analysis::report::Table;
+use footsteps_analysis::stats::{percentiles, Welford};
+use footsteps_core::results::StudyResults;
+use footsteps_obs::MetricsSnapshot;
+
+/// Welford moments for one Table 5 reciprocation cell across seeds.
+#[derive(Debug, Clone, Default)]
+pub struct CellAgg {
+    /// Outbound actions that visibly succeeded.
+    pub outbound: Welford,
+    /// Inbound likes received.
+    pub inbound_likes: Welford,
+    /// Inbound follows received.
+    pub inbound_follows: Welford,
+    /// P(inbound follow | outbound action).
+    pub follow_rate: Welford,
+    /// P(inbound like | outbound action).
+    pub like_rate: Welford,
+}
+
+/// One aggregated Table 5 row (a (service, cohort, action) cell).
+#[derive(Debug, Clone)]
+pub struct Table5Agg {
+    /// Service label.
+    pub service: String,
+    /// Cohort label: `lived-in` or `empty`.
+    pub cohort: String,
+    /// Outbound action label.
+    pub action: String,
+    /// The aggregated cell.
+    pub cell: CellAgg,
+    /// Raw per-seed inbound-follow counts, for percentile summaries.
+    pub follows_per_seed: Vec<f64>,
+}
+
+/// One aggregated Table 6 row.
+#[derive(Debug, Clone)]
+pub struct Table6Agg {
+    /// Business group label.
+    pub group: String,
+    /// Distinct customers.
+    pub customers: Welford,
+    /// Long-term customers.
+    pub long_term: Welford,
+    /// Short-term customers.
+    pub short_term: Welford,
+}
+
+/// Ledger ground-truth revenue across seeds (cents over the revenue
+/// month).
+#[derive(Debug, Clone, Default)]
+pub struct RevenueAgg {
+    /// Boostgram gross (Table 8 truth).
+    pub boostgram_cents: Welford,
+    /// Insta* gross (Table 8 truth).
+    pub instastar_cents: Welford,
+    /// Hublaagram gross, all payment kinds (Table 9 truth).
+    pub hublaagram_cents: Welford,
+}
+
+/// Everything `sweep report` prints.
+#[derive(Debug)]
+pub struct AggregateReport {
+    /// Seeds aggregated, in sweep order.
+    pub seeds: Vec<u64>,
+    /// `(seed, StudyResults digest)` in the same order.
+    pub digests: Vec<(u64, u64)>,
+    /// Aggregated Table 5 rows, first-seen order.
+    pub table5: Vec<Table5Agg>,
+    /// Aggregated Table 6 rows, first-seen order.
+    pub table6: Vec<Table6Agg>,
+    /// Revenue ground truth.
+    pub revenue: RevenueAgg,
+    /// All seeds' metrics snapshots merged (None when none were given).
+    pub metrics: Option<MetricsSnapshot>,
+}
+
+/// Aggregate per-seed results (and optionally their metrics snapshots)
+/// into one report. Rows are keyed by their labels, so partial overlaps
+/// (a variant missing a service) still align correctly.
+pub fn aggregate(per_seed: &[StudyResults], metrics: &[MetricsSnapshot]) -> AggregateReport {
+    let mut report = AggregateReport {
+        seeds: per_seed.iter().map(|r| r.seed).collect(),
+        digests: per_seed.iter().map(|r| (r.seed, r.digest())).collect(),
+        table5: Vec::new(),
+        table6: Vec::new(),
+        revenue: RevenueAgg::default(),
+        metrics: None,
+    };
+
+    for results in per_seed {
+        for row in &results.table5 {
+            let service = row.service.to_string();
+            let cohort = if row.lived_in { "lived-in" } else { "empty" }.to_string();
+            let action = row.outbound.to_string();
+            let agg = match report
+                .table5
+                .iter_mut()
+                .find(|a| a.service == service && a.cohort == cohort && a.action == action)
+            {
+                Some(a) => a,
+                None => {
+                    report.table5.push(Table5Agg {
+                        service,
+                        cohort,
+                        action,
+                        cell: CellAgg::default(),
+                        follows_per_seed: Vec::new(),
+                    });
+                    report.table5.last_mut().expect("just pushed")
+                }
+            };
+            agg.cell.outbound.push(row.cell.outbound as f64);
+            agg.cell.inbound_likes.push(row.cell.inbound_likes as f64);
+            agg.cell.inbound_follows.push(row.cell.inbound_follows as f64);
+            agg.cell.follow_rate.push(row.cell.follow_rate());
+            agg.cell.like_rate.push(row.cell.like_rate());
+            agg.follows_per_seed.push(row.cell.inbound_follows as f64);
+        }
+
+        for row in &results.table6 {
+            let group = row.group.to_string();
+            let agg = match report.table6.iter_mut().find(|a| a.group == group) {
+                Some(a) => a,
+                None => {
+                    report.table6.push(Table6Agg {
+                        group,
+                        customers: Welford::new(),
+                        long_term: Welford::new(),
+                        short_term: Welford::new(),
+                    });
+                    report.table6.last_mut().expect("just pushed")
+                }
+            };
+            agg.customers.push(row.customers as f64);
+            agg.long_term.push(row.long_term as f64);
+            agg.short_term.push(row.short_term as f64);
+        }
+
+        report.revenue.boostgram_cents.push(results.table8.truth_cents.0 as f64);
+        report.revenue.instastar_cents.push(results.table8.truth_cents.1 as f64);
+        let (no_out, monthly, one_time, ads) = results.table9.truth_cents;
+        report
+            .revenue
+            .hublaagram_cents
+            .push((no_out + monthly + one_time + ads) as f64);
+    }
+
+    for snapshot in metrics {
+        match &mut report.metrics {
+            Some(merged) => merged.merge(snapshot),
+            None => report.metrics = Some(snapshot.clone()),
+        }
+    }
+
+    report
+}
+
+/// `mean ± std` cell text.
+fn pm(w: &Welford) -> String {
+    format!("{:.1} ± {:.1}", w.mean(), w.std_dev())
+}
+
+/// `mean ± std` for rates, three decimals.
+fn pm_rate(w: &Welford) -> String {
+    format!("{:.3} ± {:.3}", w.mean(), w.std_dev())
+}
+
+impl AggregateReport {
+    /// Count of Table 5 count-cells (outbound / in-likes / in-follows)
+    /// with nonzero cross-seed sample variance, plus the total number of
+    /// such cells. The CI smoke sweep asserts the first number is
+    /// positive: seeds that did not actually vary would zero it.
+    pub fn nonzero_variance_cells(&self) -> (usize, usize) {
+        let mut nonzero = 0;
+        let mut total = 0;
+        for row in &self.table5 {
+            for w in [&row.cell.outbound, &row.cell.inbound_likes, &row.cell.inbound_follows] {
+                total += 1;
+                if w.sample_variance() > 0.0 {
+                    nonzero += 1;
+                }
+            }
+        }
+        (nonzero, total)
+    }
+
+    /// Render the full plain-text report.
+    pub fn render(&self) -> String {
+        let n = self.seeds.len();
+        let mut out = String::new();
+        out.push_str(&format!("== footsteps-sweep aggregate report (n={n} seeds) ==\n"));
+        out.push_str(&format!(
+            "seeds: {}\n",
+            self.seeds.iter().map(|s| s.to_string()).collect::<Vec<_>>().join(", ")
+        ));
+        out.push_str("per-seed StudyResults digests:\n");
+        for (seed, digest) in &self.digests {
+            out.push_str(&format!("  s{seed}: {digest:#018x}\n"));
+        }
+        out.push('\n');
+
+        let mut t5 = Table::new(
+            format!("Table 5 — honeypot reciprocation, mean ± std across {n} seeds"),
+            &["Service", "Cohort", "Action", "Outbound", "In-likes", "In-follows", "Follow-rate", "Follows p50/p90"],
+        );
+        for row in &self.table5 {
+            let pcts = percentiles(&row.follows_per_seed, &[0.50, 0.90])
+                .map(|v| format!("{:.0}/{:.0}", v[0], v[1]))
+                .unwrap_or_else(|| "n/a".into());
+            t5.row(&[
+                row.service.clone(),
+                row.cohort.clone(),
+                row.action.clone(),
+                pm(&row.cell.outbound),
+                pm(&row.cell.inbound_likes),
+                pm(&row.cell.inbound_follows),
+                pm_rate(&row.cell.follow_rate),
+                pcts,
+            ]);
+        }
+        out.push_str(&t5.render());
+        out.push('\n');
+
+        let mut t6 = Table::new(
+            format!("Table 6 — customer bases, mean ± std across {n} seeds"),
+            &["Group", "Customers", "Long-term", "Short-term"],
+        );
+        for row in &self.table6 {
+            t6.row(&[
+                row.group.clone(),
+                pm(&row.customers),
+                pm(&row.long_term),
+                pm(&row.short_term),
+            ]);
+        }
+        out.push_str(&t6.render());
+        out.push('\n');
+
+        let mut rev = Table::new(
+            format!("Revenue ground truth (cents, revenue month), mean ± std across {n} seeds"),
+            &["Service", "Gross"],
+        );
+        rev.row(&["Boostgram".into(), pm(&self.revenue.boostgram_cents)]);
+        rev.row(&["Insta*".into(), pm(&self.revenue.instastar_cents)]);
+        rev.row(&["Hublaagram".into(), pm(&self.revenue.hublaagram_cents)]);
+        out.push_str(&rev.render());
+        out.push('\n');
+
+        if let Some(m) = &self.metrics {
+            out.push_str(&format!(
+                "metrics: {} phases merged across seeds, {} total counters\n",
+                m.phases.len(),
+                m.totals.counters.len()
+            ));
+        }
+        let (nonzero, total) = self.nonzero_variance_cells();
+        out.push_str(&format!(
+            "cross-seed variance: {nonzero} of {total} Table 5 count cells nonzero\n"
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variance_counting_and_render_shape() {
+        let mut cell = CellAgg::default();
+        for x in [10.0, 12.0] {
+            cell.outbound.push(x);
+            cell.inbound_likes.push(5.0); // constant: zero variance
+            cell.inbound_follows.push(x / 2.0);
+            cell.follow_rate.push(0.5);
+            cell.like_rate.push(0.25);
+        }
+        let report = AggregateReport {
+            seeds: vec![1, 2],
+            digests: vec![(1, 0xa), (2, 0xb)],
+            table5: vec![Table5Agg {
+                service: "Boostgram".into(),
+                cohort: "lived-in".into(),
+                action: "Follow".into(),
+                cell,
+                follows_per_seed: vec![5.0, 6.0],
+            }],
+            table6: Vec::new(),
+            revenue: RevenueAgg::default(),
+            metrics: None,
+        };
+        // outbound and in-follows vary, in-likes is constant.
+        assert_eq!(report.nonzero_variance_cells(), (2, 3));
+        let text = report.render();
+        assert!(text.contains("n=2 seeds"));
+        assert!(text.contains("s1: 0x000000000000000a"));
+        assert!(text.contains("±"));
+        assert!(text.contains("cross-seed variance: 2 of 3"));
+    }
+}

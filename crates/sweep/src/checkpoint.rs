@@ -1,0 +1,188 @@
+//! Phase-boundary checkpoints: a versioned envelope around a fully
+//! serialized [`Study`].
+//!
+//! A checkpoint is a single JSON document:
+//!
+//! ```json
+//! {"schema_version": 1, "scenario_hash": …, "phase": "Characterized", "study": {…}}
+//! ```
+//!
+//! `schema_version` gates incompatible layout changes, `scenario_hash`
+//! ties the file to the exact scenario it was produced from (so a sweep
+//! cannot resume seed 7's world into seed 8's job), and the duplicated
+//! `phase` marker cross-checks the embedded study as a cheap integrity
+//! probe. Files are written to a `.tmp` sibling and atomically renamed,
+//! so a kill mid-write leaves either the old checkpoint or none — never
+//! a truncated one under the real name.
+//!
+//! Determinism contract: the `Study` serialization covers every RNG
+//! stream position, arena and pending queue, so a study loaded from any
+//! phase-boundary checkpoint replays the exact byte stream of the run
+//! that wrote it. The crate's test suite pins this against the golden
+//! smoke digest.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use footsteps_core::{Phase, Scenario, Study};
+
+use crate::SweepError;
+
+/// Version of the checkpoint envelope + `Study` layout this build writes
+/// and reads. Bump on any change to either.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Stable FNV-1a over arbitrary bytes — same construction as
+/// [`footsteps_core::results::StudyResults::digest`], shared here for
+/// scenario hashes and manifest digests.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for b in bytes {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// Identity hash of a scenario, for tying checkpoints and manifests to
+/// their configuration. `worker_threads` is normalized out: it comes from
+/// the environment, and results are digest-identical across thread counts,
+/// so a checkpoint written on a 16-core box must resume on a 2-core one.
+pub fn scenario_hash(scenario: &Scenario) -> u64 {
+    let mut normalized = scenario.clone();
+    normalized.worker_threads = 1;
+    let json = serde_json::to_string(&normalized).expect("Scenario serializes");
+    fnv1a(json.as_bytes())
+}
+
+/// Write `bytes` to `path` atomically: a full write to a `.tmp` sibling
+/// followed by a rename, so readers never observe a partial file.
+pub(crate) fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), SweepError> {
+    let name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_default();
+    let tmp = path.with_file_name(format!("{name}.tmp"));
+    fs::write(&tmp, bytes).map_err(|source| SweepError::Io { path: tmp.clone(), source })?;
+    fs::rename(&tmp, path).map_err(|source| SweepError::Io { path: path.to_path_buf(), source })
+}
+
+/// Serialize `study` into a versioned envelope at `path` (atomic).
+///
+/// Compact JSON: a paper-scale study is large, and checkpoints are read
+/// by machines, not people.
+pub fn save(study: &Study, path: &Path) -> Result<(), SweepError> {
+    let hash = scenario_hash(&study.scenario);
+    let phase = serde_json::to_string(&study.phase).expect("Phase serializes");
+    let body = serde_json::to_string(study).expect("Study serializes");
+    let text = format!(
+        "{{\"schema_version\":{SCHEMA_VERSION},\"scenario_hash\":{hash},\
+         \"phase\":{phase},\"study\":{body}}}"
+    );
+    write_atomic(path, text.as_bytes())
+}
+
+fn corrupt(path: &Path, detail: impl Into<String>) -> SweepError {
+    SweepError::Corrupt { path: path.to_path_buf(), detail: detail.into() }
+}
+
+fn field<T: serde::Deserialize>(v: &serde::Value, name: &str, path: &Path) -> Result<T, SweepError> {
+    let f = v
+        .get_field(name)
+        .ok_or_else(|| corrupt(path, format!("missing envelope field `{name}`")))?;
+    T::from_value(f).map_err(|e| corrupt(path, format!("envelope field `{name}`: {e}")))
+}
+
+/// Load a checkpoint and validate it against `expected`: envelope parse,
+/// schema version, scenario hash and the phase cross-check all fail with
+/// a typed [`SweepError`] rather than a panic or a silently wrong world.
+pub fn load(path: &Path, expected: &Scenario) -> Result<Study, SweepError> {
+    let text = fs::read_to_string(path)
+        .map_err(|source| SweepError::Io { path: path.to_path_buf(), source })?;
+    let v = serde_json::parse(&text).map_err(|e| corrupt(path, e.0))?;
+
+    let found: u32 = field(&v, "schema_version", path)?;
+    if found != SCHEMA_VERSION {
+        return Err(SweepError::VersionMismatch {
+            path: path.to_path_buf(),
+            found,
+            expected: SCHEMA_VERSION,
+        });
+    }
+
+    let found_hash: u64 = field(&v, "scenario_hash", path)?;
+    let expected_hash = scenario_hash(expected);
+    if found_hash != expected_hash {
+        return Err(SweepError::ScenarioMismatch {
+            path: path.to_path_buf(),
+            found: found_hash,
+            expected: expected_hash,
+        });
+    }
+
+    let phase: Phase = field(&v, "phase", path)?;
+    let study: Study = field(&v, "study", path)?;
+    if study.phase != phase {
+        return Err(corrupt(
+            path,
+            format!("envelope says {phase:?} but the study is at {:?}", study.phase),
+        ));
+    }
+    if scenario_hash(&study.scenario) != found_hash {
+        return Err(corrupt(path, "embedded scenario disagrees with the envelope hash"));
+    }
+    Ok(study)
+}
+
+/// Canonical checkpoint filename for one job at one phase boundary.
+pub fn file_name(variant: &str, seed: u64, phase: Phase) -> String {
+    let tag = match phase {
+        Phase::Setup => "setup",
+        Phase::Characterized => "characterized",
+        Phase::NarrowDone => "narrow-done",
+        Phase::BroadDone => "broad-done",
+        Phase::Finished => "finished",
+    };
+    format!("ckpt_{variant}_s{seed}_{tag}.json")
+}
+
+/// Canonical checkpoint path under a sweep directory.
+pub fn path_for(dir: &Path, variant: &str, seed: u64, phase: Phase) -> PathBuf {
+    dir.join(file_name(variant, seed, phase))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_hash_normalizes_worker_threads() {
+        let mut a = Scenario::smoke(7);
+        let mut b = Scenario::smoke(7);
+        a.worker_threads = 1;
+        b.worker_threads = 8;
+        assert_eq!(scenario_hash(&a), scenario_hash(&b));
+        assert_ne!(scenario_hash(&a), scenario_hash(&Scenario::smoke(8)));
+    }
+
+    #[test]
+    fn file_names_are_distinct_per_phase_and_job() {
+        let mut names: Vec<String> = Vec::new();
+        for phase in [
+            Phase::Setup,
+            Phase::Characterized,
+            Phase::NarrowDone,
+            Phase::BroadDone,
+            Phase::Finished,
+        ] {
+            names.push(file_name("smoke", 1, phase));
+            names.push(file_name("smoke", 2, phase));
+        }
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+    }
+}

@@ -1,0 +1,311 @@
+//! The sweep scheduler: a bounded `std::thread::scope` worker pool that
+//! drives every (variant, seed) job through the full study pipeline,
+//! checkpointing at each phase boundary and recording progress in the
+//! [`Manifest`].
+//!
+//! Restart semantics (the whole point):
+//!
+//! * a job marked `Done` whose results file exists is **skipped** —
+//!   relaunching a finished sweep is a no-op;
+//! * a job with checkpoints on disk resumes from the **latest** boundary
+//!   (scenario-hash validated), recomputing nothing before it;
+//! * everything else starts from scratch.
+//!
+//! Per-seed `StudyResults` are collected the moment characterization
+//! completes — the same point the determinism suite's golden digest is
+//! defined at — and written before the `Characterized` checkpoint, so a
+//! checkpoint at or past that boundary implies the results file exists.
+//! A kill between the two writes only costs re-running characterization,
+//! which is deterministic and reproduces the identical results file.
+//!
+//! Scheduling order never affects results: jobs are independent and each
+//! digest depends only on its scenario, so any interleaving of the pool
+//! produces the same manifest digests.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use footsteps_core::results::StudyResults;
+use footsteps_core::{Phase, Scenario, Study};
+use footsteps_obs::MetricsSnapshot;
+
+use crate::checkpoint::{self, scenario_hash, write_atomic};
+use crate::manifest::{now_unix, JobEntry, JobStatus, Manifest};
+use crate::SweepError;
+
+/// What to run: N seeds × M scenario variants on a bounded pool.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Directory for the manifest, checkpoints and per-seed results.
+    pub dir: PathBuf,
+    /// Named scenario variants (the seed field is overridden per job).
+    pub variants: Vec<(String, Scenario)>,
+    /// Seeds to run every variant with.
+    pub seeds: Vec<u64>,
+    /// Worker threads; each worker runs whole jobs, one at a time.
+    pub workers: usize,
+}
+
+/// What a sweep invocation did.
+#[derive(Debug)]
+pub struct SweepOutcome {
+    /// Final manifest state (also on disk).
+    pub manifest: Manifest,
+    /// Jobs that executed at least one phase.
+    pub ran: usize,
+    /// Jobs skipped because they were already done.
+    pub skipped: usize,
+}
+
+/// The manifest's location under a sweep directory.
+pub fn manifest_path(dir: &Path) -> PathBuf {
+    dir.join("manifest.json")
+}
+
+/// Per-job `StudyResults` JSON location.
+pub fn results_path(dir: &Path, variant: &str, seed: u64) -> PathBuf {
+    dir.join(format!("results_{variant}_s{seed}.json"))
+}
+
+/// Per-job metrics snapshot location (results JSON deliberately excludes
+/// metrics, so they travel in a sibling file).
+pub fn metrics_path(dir: &Path, variant: &str, seed: u64) -> PathBuf {
+    dir.join(format!("metrics_{variant}_s{seed}.json"))
+}
+
+/// Read back a per-job results file.
+pub fn read_results(path: &Path) -> Result<StudyResults, SweepError> {
+    let text = fs::read_to_string(path)
+        .map_err(|source| SweepError::Io { path: path.to_path_buf(), source })?;
+    serde_json::from_str(&text)
+        .map_err(|e| SweepError::Corrupt { path: path.to_path_buf(), detail: e.0 })
+}
+
+/// Read back a per-job metrics snapshot.
+pub fn read_metrics(path: &Path) -> Result<MetricsSnapshot, SweepError> {
+    let text = fs::read_to_string(path)
+        .map_err(|source| SweepError::Io { path: path.to_path_buf(), source })?;
+    serde_json::from_str(&text)
+        .map_err(|e| SweepError::Corrupt { path: path.to_path_buf(), detail: e.0 })
+}
+
+/// Start (or continue) a sweep. If the directory already holds a
+/// manifest, the requested configuration must match it — same variants
+/// (by name and scenario hash) and same seed set — and completed jobs
+/// are skipped; otherwise a fresh manifest is created.
+pub fn run_sweep(cfg: &SweepConfig) -> Result<SweepOutcome, SweepError> {
+    if cfg.variants.is_empty() || cfg.seeds.is_empty() {
+        return Err(SweepError::Config("need at least one variant and one seed".into()));
+    }
+    let mut names: Vec<&str> = cfg.variants.iter().map(|(n, _)| n.as_str()).collect();
+    names.sort_unstable();
+    names.dedup();
+    if names.len() != cfg.variants.len() {
+        return Err(SweepError::Config("variant names must be unique".into()));
+    }
+    let mut seeds = cfg.seeds.clone();
+    seeds.sort_unstable();
+    seeds.dedup();
+    if seeds.len() != cfg.seeds.len() {
+        return Err(SweepError::Config("seeds must be unique".into()));
+    }
+
+    fs::create_dir_all(&cfg.dir)
+        .map_err(|source| SweepError::Io { path: cfg.dir.clone(), source })?;
+    let mpath = manifest_path(&cfg.dir);
+    let manifest = if mpath.exists() {
+        let existing = Manifest::load(&mpath)?;
+        check_compatible(&existing, cfg)?;
+        existing
+    } else {
+        let fresh = Manifest::new(cfg.variants.clone(), cfg.seeds.clone());
+        fresh.save(&mpath)?;
+        fresh
+    };
+    schedule(&cfg.dir, manifest, cfg.workers)
+}
+
+/// Continue a sweep from its manifest alone (configuration comes from
+/// the file, not the command line).
+pub fn resume_sweep(dir: &Path, workers: usize) -> Result<SweepOutcome, SweepError> {
+    let manifest = Manifest::load(&manifest_path(dir))?;
+    schedule(dir, manifest, workers)
+}
+
+fn check_compatible(existing: &Manifest, cfg: &SweepConfig) -> Result<(), SweepError> {
+    let same_variants = existing.variants.len() == cfg.variants.len()
+        && existing.variants.iter().zip(&cfg.variants).all(|((en, es), (cn, cs))| {
+            en == cn && scenario_hash(es) == scenario_hash(cs)
+        });
+    if !same_variants {
+        return Err(SweepError::Config(
+            "directory already holds a sweep with different scenario variants; \
+             pick a fresh directory or delete the old one"
+                .into(),
+        ));
+    }
+    if existing.seeds != cfg.seeds {
+        return Err(SweepError::Config(
+            "directory already holds a sweep with a different seed set; \
+             pick a fresh directory or delete the old one"
+                .into(),
+        ));
+    }
+    Ok(())
+}
+
+fn schedule(dir: &Path, manifest: Manifest, workers: usize) -> Result<SweepOutcome, SweepError> {
+    let workers = workers.max(1);
+    let jobs: Vec<(String, u64)> =
+        manifest.jobs.iter().map(|j| (j.variant.clone(), j.seed)).collect();
+    let mpath = manifest_path(dir);
+    let shared = Mutex::new(manifest);
+    let next = AtomicUsize::new(0);
+    let ran = AtomicUsize::new(0);
+    let skipped = AtomicUsize::new(0);
+    let errors: Mutex<Vec<SweepError>> = Mutex::new(Vec::new());
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers.min(jobs.len()) {
+            scope.spawn(|| loop {
+                if !errors.lock().expect("errors lock").is_empty() {
+                    break;
+                }
+                let i = next.fetch_add(1, Ordering::SeqCst);
+                let Some((variant, seed)) = jobs.get(i) else { break };
+                match run_job(dir, &mpath, &shared, variant, *seed) {
+                    Ok(true) => {
+                        ran.fetch_add(1, Ordering::SeqCst);
+                    }
+                    Ok(false) => {
+                        skipped.fetch_add(1, Ordering::SeqCst);
+                    }
+                    Err(e) => {
+                        errors.lock().expect("errors lock").push(e);
+                        break;
+                    }
+                }
+            });
+        }
+    });
+
+    let manifest = shared.into_inner().expect("manifest lock");
+    if let Some(e) = errors.into_inner().expect("errors lock").into_iter().next() {
+        return Err(e);
+    }
+    Ok(SweepOutcome {
+        manifest,
+        ran: ran.into_inner(),
+        skipped: skipped.into_inner(),
+    })
+}
+
+/// Record a manifest transition: mutate the entry, stamp it, persist.
+fn touch(
+    shared: &Mutex<Manifest>,
+    mpath: &Path,
+    variant: &str,
+    seed: u64,
+    f: impl FnOnce(&mut JobEntry),
+) -> Result<(), SweepError> {
+    let mut m = shared.lock().expect("manifest lock");
+    let entry = m.job_mut(variant, seed);
+    f(entry);
+    entry.updated_unix = now_unix();
+    m.save(mpath)
+}
+
+/// Run (or skip, or resume) one job. Returns `true` if any phase
+/// actually executed.
+fn run_job(
+    dir: &Path,
+    mpath: &Path,
+    shared: &Mutex<Manifest>,
+    variant: &str,
+    seed: u64,
+) -> Result<bool, SweepError> {
+    let rpath = results_path(dir, variant, seed);
+    let scenario = {
+        let m = shared.lock().expect("manifest lock");
+        let entry = m.job(variant, seed).expect("scheduled job is in the manifest");
+        if entry.status == JobStatus::Done && rpath.exists() {
+            return Ok(false);
+        }
+        m.scenario_for(variant, seed)
+            .ok_or_else(|| SweepError::Config(format!("unknown variant `{variant}`")))?
+    };
+    touch(shared, mpath, variant, seed, |j| j.status = JobStatus::Running)?;
+
+    // Latest usable checkpoint wins. Boundaries at or past Characterized
+    // additionally require the results file (written just before that
+    // checkpoint); without it, fall back far enough to regenerate it.
+    let mut resumed = None;
+    for phase in [
+        Phase::Finished,
+        Phase::BroadDone,
+        Phase::NarrowDone,
+        Phase::Characterized,
+        Phase::Setup,
+    ] {
+        let p = checkpoint::path_for(dir, variant, seed, phase);
+        if !p.exists() || (phase >= Phase::Characterized && !rpath.exists()) {
+            continue;
+        }
+        resumed = Some(checkpoint::load(&p, &scenario)?);
+        break;
+    }
+    let mut study = match resumed {
+        Some(s) => s,
+        None => {
+            let s = Study::new(scenario.clone());
+            checkpoint::save(&s, &checkpoint::path_for(dir, variant, seed, Phase::Setup))?;
+            s
+        }
+    };
+
+    let mut digest = if study.phase >= Phase::Characterized {
+        Some(read_results(&rpath)?.digest())
+    } else {
+        None
+    };
+    let start_phase = study.phase;
+    touch(shared, mpath, variant, seed, |j| {
+        j.phase = start_phase;
+        j.digest = digest;
+    })?;
+
+    while study.phase < Phase::Finished {
+        match study.phase {
+            Phase::Setup => study.run_characterization(),
+            Phase::Characterized => study.run_narrow(),
+            Phase::NarrowDone => study.run_broad(),
+            Phase::BroadDone => study.run_epilogue(),
+            Phase::Finished => unreachable!("loop guard"),
+        }
+        if study.phase == Phase::Characterized {
+            let results = StudyResults::collect(&study);
+            write_atomic(&rpath, results.to_json().as_bytes())?;
+            if let Some(snapshot) = &results.metrics {
+                write_atomic(
+                    &metrics_path(dir, variant, seed),
+                    snapshot.to_json().as_bytes(),
+                )?;
+            }
+            digest = Some(results.digest());
+        }
+        checkpoint::save(&study, &checkpoint::path_for(dir, variant, seed, study.phase))?;
+        let reached = study.phase;
+        touch(shared, mpath, variant, seed, |j| {
+            j.phase = reached;
+            j.digest = digest;
+        })?;
+    }
+
+    touch(shared, mpath, variant, seed, |j| {
+        j.status = JobStatus::Done;
+        j.digest = digest;
+    })?;
+    Ok(true)
+}

@@ -1,0 +1,156 @@
+//! The tentpole guarantee: a study resumed from **any** phase-boundary
+//! checkpoint reproduces the uninterrupted run's `StudyResults` digests
+//! byte-for-byte.
+//!
+//! The characterization-point digest is the same golden value the
+//! determinism suite pins (`tests/tests/determinism.rs`); the post-
+//! characterization boundaries are compared against the uninterrupted
+//! run's final-state digest computed in this test (results are *not*
+//! phase-stable — cumulative login counters feed Figure 2 — so each
+//! boundary is checked at the phase where its digest is defined).
+
+use std::path::PathBuf;
+
+use footsteps_core::results::StudyResults;
+use footsteps_core::{Phase, Scenario, Study};
+use footsteps_sweep::checkpoint;
+use footsteps_sweep::SweepError;
+
+/// The determinism suite's golden digest for `Scenario::smoke(7)`. It is
+/// worker-thread invariant (pinned by `tests/tests/determinism.rs`), so
+/// this suite runs on four threads for wall time.
+const GOLDEN_SMOKE_DIGEST: u64 = 0xce8a_eb34_fb9f_e096;
+
+fn smoke(seed: u64) -> Scenario {
+    let mut s = Scenario::smoke(seed);
+    s.worker_threads = 4;
+    s
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("footsteps-resume-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+#[test]
+fn resume_from_every_phase_boundary_reproduces_uninterrupted_digests() {
+    let dir = tmp_dir("boundaries");
+    let sc = smoke(7);
+    let ckpt = |phase| checkpoint::path_for(&dir, "smoke", 7, phase);
+
+    // Uninterrupted run, checkpointing at all five boundaries.
+    let mut study = Study::new(sc.clone());
+    checkpoint::save(&study, &ckpt(Phase::Setup)).expect("save setup");
+    study.run_characterization();
+    checkpoint::save(&study, &ckpt(Phase::Characterized)).expect("save characterized");
+    assert_eq!(
+        StudyResults::collect(&study).digest(),
+        GOLDEN_SMOKE_DIGEST,
+        "uninterrupted characterization digest must match the determinism suite"
+    );
+    study.run_narrow();
+    checkpoint::save(&study, &ckpt(Phase::NarrowDone)).expect("save narrow-done");
+    study.run_broad();
+    checkpoint::save(&study, &ckpt(Phase::BroadDone)).expect("save broad-done");
+    study.run_epilogue();
+    checkpoint::save(&study, &ckpt(Phase::Finished)).expect("save finished");
+    let final_digest = StudyResults::collect(&study).digest();
+    drop(study);
+
+    // Setup boundary: the whole characterization replays identically.
+    let mut resumed = checkpoint::load(&ckpt(Phase::Setup), &sc).expect("load setup");
+    assert_eq!(resumed.phase, Phase::Setup);
+    resumed.run_characterization();
+    assert_eq!(StudyResults::collect(&resumed).digest(), GOLDEN_SMOKE_DIGEST);
+
+    // Characterized boundary: the golden digest is readable immediately,
+    // and the remaining phases replay to the uninterrupted end state.
+    let mut resumed = checkpoint::load(&ckpt(Phase::Characterized), &sc).expect("load characterized");
+    assert_eq!(resumed.phase, Phase::Characterized);
+    assert_eq!(StudyResults::collect(&resumed).digest(), GOLDEN_SMOKE_DIGEST);
+    resumed.run_narrow();
+    resumed.run_broad();
+    resumed.run_epilogue();
+    assert_eq!(StudyResults::collect(&resumed).digest(), final_digest);
+
+    // NarrowDone boundary.
+    let mut resumed = checkpoint::load(&ckpt(Phase::NarrowDone), &sc).expect("load narrow-done");
+    assert_eq!(resumed.phase, Phase::NarrowDone);
+    resumed.run_broad();
+    resumed.run_epilogue();
+    assert_eq!(StudyResults::collect(&resumed).digest(), final_digest);
+
+    // BroadDone boundary.
+    let mut resumed = checkpoint::load(&ckpt(Phase::BroadDone), &sc).expect("load broad-done");
+    assert_eq!(resumed.phase, Phase::BroadDone);
+    resumed.run_epilogue();
+    assert_eq!(StudyResults::collect(&resumed).digest(), final_digest);
+
+    // Finished boundary: pure state restoration.
+    let resumed = checkpoint::load(&ckpt(Phase::Finished), &sc).expect("load finished");
+    assert_eq!(resumed.phase, Phase::Finished);
+    assert_eq!(StudyResults::collect(&resumed).digest(), final_digest);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupt_and_mismatched_checkpoints_fail_with_typed_errors() {
+    let dir = tmp_dir("corruption");
+    let sc = smoke(3);
+    let study = Study::new(sc.clone());
+    let path = dir.join("ckpt.json");
+    checkpoint::save(&study, &path).expect("save");
+    let good = std::fs::read_to_string(&path).expect("read back");
+
+    // Sanity: the pristine file loads.
+    checkpoint::load(&path, &sc).expect("pristine checkpoint loads");
+
+    // Truncated write (what a kill without the atomic rename would leave).
+    std::fs::write(&path, &good[..good.len() / 2]).unwrap();
+    match checkpoint::load(&path, &sc) {
+        Err(SweepError::Corrupt { .. }) => {}
+        other => panic!("truncated file: expected Corrupt, got {other:?}"),
+    }
+
+    // Outright garbage.
+    std::fs::write(&path, "not json at all {").unwrap();
+    assert!(matches!(checkpoint::load(&path, &sc), Err(SweepError::Corrupt { .. })));
+
+    // Foreign schema version, with a readable message.
+    std::fs::write(&path, good.replacen("\"schema_version\":1", "\"schema_version\":999", 1))
+        .unwrap();
+    match checkpoint::load(&path, &sc) {
+        Err(e @ SweepError::VersionMismatch { found: 999, .. }) => {
+            let msg = e.to_string();
+            assert!(msg.contains("v999"), "message should name the version: {msg}");
+        }
+        other => panic!("foreign version: expected VersionMismatch, got {other:?}"),
+    }
+
+    // Right file, wrong scenario (a different seed).
+    std::fs::write(&path, &good).unwrap();
+    match checkpoint::load(&path, &smoke(4)) {
+        Err(e @ SweepError::ScenarioMismatch { .. }) => {
+            assert!(e.to_string().contains("scenario"), "message: {e}");
+        }
+        other => panic!("wrong scenario: expected ScenarioMismatch, got {other:?}"),
+    }
+
+    // Envelope phase marker disagreeing with the embedded study.
+    std::fs::write(&path, good.replacen("\"phase\":\"Setup\"", "\"phase\":\"Finished\"", 1))
+        .unwrap();
+    match checkpoint::load(&path, &sc) {
+        Err(SweepError::Corrupt { detail, .. }) => {
+            assert!(detail.contains("Finished"), "detail: {detail}");
+        }
+        other => panic!("phase mismatch: expected Corrupt, got {other:?}"),
+    }
+
+    // Missing file.
+    std::fs::remove_file(&path).unwrap();
+    assert!(matches!(checkpoint::load(&path, &sc), Err(SweepError::Io { .. })));
+
+    std::fs::remove_dir_all(&dir).ok();
+}

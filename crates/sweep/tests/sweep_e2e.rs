@@ -1,0 +1,154 @@
+//! End-to-end sweep behaviour: completed seeds are skipped on relaunch,
+//! partial seeds resume from their latest checkpoint, a killed `sweep`
+//! process is recoverable with `sweep resume`, and the aggregate report
+//! shows real cross-seed variance.
+
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+use std::time::Duration;
+
+use footsteps_core::{Phase, Scenario};
+use footsteps_sweep::aggregate::aggregate;
+use footsteps_sweep::checkpoint;
+use footsteps_sweep::manifest::{JobStatus, Manifest};
+use footsteps_sweep::scheduler::{
+    manifest_path, read_results, results_path, resume_sweep, run_sweep, SweepConfig,
+};
+
+fn quick(seed: u64) -> Scenario {
+    let mut s = Scenario::quick(seed);
+    s.worker_threads = 1;
+    s
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("footsteps-sweep-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+#[test]
+fn sweep_completes_skips_done_seeds_and_resumes_partial_ones() {
+    let dir = tmp_dir("e2e");
+    let cfg = SweepConfig {
+        dir: dir.clone(),
+        variants: vec![("quick".into(), quick(1))],
+        seeds: vec![1, 2],
+        workers: 2,
+    };
+
+    let out = run_sweep(&cfg).expect("initial sweep");
+    assert_eq!((out.ran, out.skipped), (2, 0));
+    assert!(out.manifest.all_done());
+    let d1 = out.manifest.job("quick", 1).unwrap().digest.expect("seed 1 digest");
+    let d2 = out.manifest.job("quick", 2).unwrap().digest.expect("seed 2 digest");
+    assert_ne!(d1, d2, "different seeds must produce different results");
+
+    // The per-seed results file round-trips to the digest the manifest
+    // recorded (float formatting is parse-stable).
+    let r1 = read_results(&results_path(&dir, "quick", 1)).expect("read seed 1 results");
+    assert_eq!(r1.digest(), d1);
+
+    // Relaunching the identical sweep is a no-op.
+    let again = run_sweep(&cfg).expect("relaunch");
+    assert_eq!((again.ran, again.skipped), (0, 2));
+
+    // Fabricate the state a kill after seed 2's narrow phase would leave:
+    // status Running, digest not yet re-recorded, later checkpoints gone.
+    let mpath = manifest_path(&dir);
+    let mut m = Manifest::load(&mpath).expect("load manifest");
+    {
+        let job = m.job_mut("quick", 2);
+        job.status = JobStatus::Running;
+        job.digest = None;
+        job.phase = Phase::NarrowDone;
+    }
+    m.save(&mpath).expect("save manifest");
+    for phase in [Phase::BroadDone, Phase::Finished] {
+        std::fs::remove_file(checkpoint::path_for(&dir, "quick", 2, phase)).expect("drop ckpt");
+    }
+
+    let before = std::fs::read(results_path(&dir, "quick", 1)).expect("seed 1 bytes");
+    let resumed = resume_sweep(&dir, 2).expect("resume");
+    assert_eq!((resumed.ran, resumed.skipped), (1, 1));
+    assert!(resumed.manifest.all_done());
+    // The digest came back from the results file, not a recompute, and
+    // matches the original run exactly.
+    assert_eq!(resumed.manifest.job("quick", 2).unwrap().digest, Some(d2));
+    // The completed seed was not touched.
+    assert_eq!(std::fs::read(results_path(&dir, "quick", 1)).unwrap(), before);
+
+    // Aggregate across both seeds: nonzero cross-seed variance in the
+    // Table 5 counts, error bars in the render.
+    let r2 = read_results(&results_path(&dir, "quick", 2)).expect("read seed 2 results");
+    let report = aggregate(&[r1, r2], &[]);
+    let (nonzero, total) = report.nonzero_variance_cells();
+    assert!(nonzero > 0, "expected cross-seed variance, got 0 of {total} cells");
+    let text = report.render();
+    assert!(text.contains("±"));
+    assert!(text.contains(&format!("{d1:#018x}")));
+
+    // A conflicting configuration in the same directory is refused.
+    let mut conflicting = cfg.clone();
+    conflicting.seeds = vec![1, 2, 3];
+    assert!(matches!(
+        run_sweep(&conflicting),
+        Err(footsteps_sweep::SweepError::Config(_))
+    ));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn killed_sweep_process_resumes_to_completion() {
+    let dir = tmp_dir("kill");
+    let exe = env!("CARGO_BIN_EXE_sweep");
+    let dir_arg = dir.to_str().expect("utf-8 temp path");
+
+    // Start a 2-seed sweep and kill it mid-flight (single worker so the
+    // kill reliably lands inside a running job).
+    let mut child = Command::new(exe)
+        .args(["run", "--dir", dir_arg, "--seeds", "2", "--workers", "1", "--scenario", "quick"])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn sweep run");
+    std::thread::sleep(Duration::from_millis(2500));
+    child.kill().ok();
+    child.wait().expect("reap child");
+
+    // The manifest survived the kill and `sweep resume` finishes the job.
+    let status = Command::new(exe)
+        .args(["resume", "--dir", dir_arg, "--workers", "1"])
+        .stdout(Stdio::null())
+        .status()
+        .expect("run sweep resume");
+    assert!(status.success(), "sweep resume failed after kill");
+
+    let manifest = Manifest::load(&manifest_path(&dir)).expect("manifest after resume");
+    assert!(manifest.all_done());
+    let digests: Vec<u64> = manifest.jobs.iter().map(|j| j.digest.expect("digest")).collect();
+    assert_eq!(digests.len(), 2);
+    assert_ne!(digests[0], digests[1]);
+
+    // Resuming a finished sweep is a no-op, and the report renders.
+    let out = Command::new(exe)
+        .args(["resume", "--dir", dir_arg])
+        .output()
+        .expect("no-op resume");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("ran 0 job(s)"), "stdout: {stdout}");
+
+    let out = Command::new(exe)
+        .args(["report", "--dir", dir_arg])
+        .output()
+        .expect("sweep report");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("aggregate report"), "stdout: {stdout}");
+    assert!(stdout.contains("cross-seed variance"), "stdout: {stdout}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}

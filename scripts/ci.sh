@@ -20,6 +20,44 @@ cargo run --release -q -p footsteps-lint -- --json-out /tmp/footsteps_lint.ci.js
 echo "== test =="
 cargo test -q
 
+echo "== sweep smoke (2-seed replication, checkpoint/resume) =="
+# Two seeds of the smoke scenario on the bounded pool, then prove the
+# resume path is a no-op on a finished manifest and that the aggregate
+# report shows real cross-seed variance (ISSUE 4 acceptance).
+SWEEP_DIR="$(mktemp -d /tmp/footsteps_sweep_ci.XXXXXX)"
+trap 'rm -rf "$SWEEP_DIR"' EXIT
+./target/release/sweep run --dir "$SWEEP_DIR" --seeds 2 --workers 2 --scenario smoke
+
+# The two per-seed digests must differ — identical digests would mean
+# the seeds were not actually varied.
+digests=$(sed -n 's/.*"digest": \([0-9][0-9]*\).*/\1/p' "$SWEEP_DIR/manifest.json")
+if [ "$(printf '%s\n' "$digests" | wc -l)" -ne 2 ]; then
+  echo "sweep gate: expected 2 per-seed digests, got: $digests" >&2
+  exit 1
+fi
+if [ "$(printf '%s\n' "$digests" | sort -u | wc -l)" -ne 2 ]; then
+  echo "sweep gate: per-seed digests did not differ: $digests" >&2
+  exit 1
+fi
+
+# Resuming a finished sweep must be a no-op (nothing recomputed).
+resume_out=$(./target/release/sweep resume --dir "$SWEEP_DIR")
+printf '%s\n' "$resume_out"
+if ! printf '%s\n' "$resume_out" | grep -q "ran 0 job(s)"; then
+  echo "sweep gate: resume on a finished manifest was not a no-op" >&2
+  exit 1
+fi
+
+# The aggregate report must show nonzero cross-seed variance in at
+# least one Table 5 count cell.
+report_out=$(./target/release/sweep report --dir "$SWEEP_DIR")
+printf '%s\n' "$report_out" | tail -n 3
+if ! printf '%s\n' "$report_out" | grep -q "cross-seed variance: [1-9]"; then
+  echo "sweep gate: no cross-seed variance in the Table 5 count cells" >&2
+  exit 1
+fi
+echo "sweep gate: OK (2 distinct digests, no-op resume, nonzero variance)"
+
 echo "== perf baseline (smoke scenario) =="
 cargo run --release -p footsteps-bench --bin perf_baseline -- --json 7 /tmp/BENCH_daily_engine.ci.json
 

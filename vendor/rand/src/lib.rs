@@ -293,6 +293,25 @@ pub mod rngs {
         }
     }
 
+    impl serde::Serialize for SmallRng {
+        fn to_value(&self) -> serde::Value {
+            serde::Value::Seq(self.s.iter().map(|&w| serde::Value::U64(w)).collect())
+        }
+    }
+
+    impl serde::Deserialize for SmallRng {
+        fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+            let s = <[u64; 4]>::from_value(v)
+                .map_err(|e| serde::Error::custom(format!("SmallRng state: {e}")))?;
+            if s == [0; 4] {
+                // An all-zero state is a fixed point no seeded constructor can
+                // produce; a checkpoint claiming it is corrupt.
+                return Err(serde::Error::custom("SmallRng state is all-zero"));
+            }
+            Ok(Self { s })
+        }
+    }
+
     impl SeedableRng for SmallRng {
         type Seed = [u8; 32];
 

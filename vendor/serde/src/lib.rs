@@ -394,6 +394,54 @@ ser_tuple!(
     (A.0, B.1, C.2, D.3, E.4),
 );
 
+/// Deserialize one map key, tolerating the type erasure JSON rendering
+/// introduces: object keys always parse back as strings (so a `u64`-keyed
+/// map comes back with `Str("42")` keys), and structured keys survive only
+/// inside the array-of-pairs form. On a direct failure, a string key is
+/// re-tried as the number it spells.
+fn map_key<K: Deserialize>(k: &Value) -> Result<K, Error> {
+    match K::from_value(k) {
+        Ok(key) => Ok(key),
+        Err(e) => {
+            if let Value::Str(s) = k {
+                if let Ok(n) = s.parse::<u64>() {
+                    return K::from_value(&Value::U64(n));
+                }
+                if let Ok(n) = s.parse::<i64>() {
+                    return K::from_value(&Value::I64(n));
+                }
+            }
+            Err(e)
+        }
+    }
+}
+
+/// Extract `(key, value)` pairs from either map representation: a
+/// [`Value::Map`], or the `[[k, v], …]` sequence that structured-key maps
+/// become after a JSON round-trip.
+fn map_pairs<K: Deserialize, V: Deserialize>(v: &Value) -> Result<Vec<(K, V)>, Error> {
+    match v {
+        Value::Map(pairs) => pairs
+            .iter()
+            .map(|(k, val)| Ok((map_key(k)?, V::from_value(val)?)))
+            .collect(),
+        Value::Seq(items)
+            if items
+                .iter()
+                .all(|i| matches!(i, Value::Seq(p) if p.len() == 2)) =>
+        {
+            items
+                .iter()
+                .map(|item| {
+                    let Value::Seq(p) = item else { unreachable!("matched above") };
+                    Ok((map_key(&p[0])?, V::from_value(&p[1])?))
+                })
+                .collect()
+        }
+        other => Err(expected("map", other)),
+    }
+}
+
 impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
     fn to_value(&self) -> Value {
         let mut pairs: Vec<(Value, Value)> = self
@@ -408,13 +456,7 @@ impl<K: Deserialize + Eq + Hash, V: Deserialize, S: std::hash::BuildHasher + Def
     for HashMap<K, V, S>
 {
     fn from_value(v: &Value) -> Result<Self, Error> {
-        match v {
-            Value::Map(pairs) => pairs
-                .iter()
-                .map(|(k, val)| Ok((K::from_value(k)?, V::from_value(val)?)))
-                .collect(),
-            other => Err(expected("map", other)),
-        }
+        Ok(map_pairs::<K, V>(v)?.into_iter().collect())
     }
 }
 
@@ -429,13 +471,7 @@ impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
 }
 impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
     fn from_value(v: &Value) -> Result<Self, Error> {
-        match v {
-            Value::Map(pairs) => pairs
-                .iter()
-                .map(|(k, val)| Ok((K::from_value(k)?, V::from_value(val)?)))
-                .collect(),
-            other => Err(expected("map", other)),
-        }
+        Ok(map_pairs::<K, V>(v)?.into_iter().collect())
     }
 }
 

@@ -438,6 +438,30 @@ mod tests {
     }
 
     #[test]
+    fn numeric_and_structured_map_keys_roundtrip_through_text() {
+        use std::collections::{BTreeMap, HashMap};
+        // Numeric keys render as JSON object keys (strings) and must come
+        // back as numbers.
+        let mut by_id: HashMap<u32, String> = HashMap::new();
+        by_id.insert(7, "seven".into());
+        by_id.insert(100, "hundred".into());
+        let json = to_string(&by_id).unwrap();
+        assert_eq!(from_str::<HashMap<u32, String>>(&json).unwrap(), by_id);
+        // Structured (tuple) keys render as `[[k, v], …]` and must come back
+        // as a map.
+        let mut by_pair: BTreeMap<(u32, u64), bool> = BTreeMap::new();
+        by_pair.insert((1, 2), true);
+        by_pair.insert((3, 4), false);
+        let json = to_string(&by_pair).unwrap();
+        assert_eq!(from_str::<BTreeMap<(u32, u64), bool>>(&json).unwrap(), by_pair);
+        let empty: BTreeMap<(u32, u64), bool> = BTreeMap::new();
+        assert_eq!(
+            from_str::<BTreeMap<(u32, u64), bool>>(&to_string(&empty).unwrap()).unwrap(),
+            empty
+        );
+    }
+
+    #[test]
     fn pretty_output_is_reparsable() {
         let xs = vec![vec![1u32], vec![2, 3]];
         let pretty = to_string_pretty(&xs).unwrap();
