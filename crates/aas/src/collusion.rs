@@ -144,6 +144,37 @@ struct MemberPlan {
     package: Option<usize>,
 }
 
+/// What one routed deposit op was *for*, so the post-apply stats walk can
+/// attribute its outcome back to the controllers exactly as the serial
+/// ladder did. Raw quantities are pre-cap (controller `attempted` counts the
+/// customer's request, not what the service dared to deliver).
+#[derive(Debug, Clone, Copy)]
+enum OpUse {
+    /// Free-tier like grant: `raw` requested, `capped` routed.
+    FreeLike { raw: u32, capped: u32 },
+    /// Free-tier follow grant.
+    FreeFollow { raw: u32, capped: u32 },
+    /// Free-tier comment grant (no controller stats).
+    Comment,
+    /// Monthly-subscription like delivery on a fresh photo.
+    MonthlyLike { raw: u32, capped: u32 },
+    /// Followersgratis package follows (aggregate stats only — the serial
+    /// ladder never fed these to the per-recipient controllers).
+    PackageFollow { follows: u32 },
+    /// Followersgratis package like burst (outbound total only).
+    PackageBurst { likes: u32 },
+}
+
+/// Output of the route phase: the day's deposit ops in serial reference
+/// order, their stat attributions, and the ad-impression total (fixed at
+/// plan time — free requests fund ads whether or not deliveries succeed).
+#[derive(Debug, Default)]
+struct RoutedDay {
+    ops: Vec<DepositOp>,
+    uses: Vec<OpUse>,
+    ads_today: u64,
+}
+
 /// Sentinel account id used for ad-income ledger rows.
 pub const ADS_ACCOUNT: AccountId = AccountId(u32::MAX);
 
@@ -675,117 +706,67 @@ impl CollusionService {
             .metrics
             .add(&format!("aas.{slug}.planned_requests"), planned_requests);
 
-        // Apply phase: execute the plans serially, in roster order.
+        // Route phase: walk the plans in roster order, flattening them into
+        // the day's deposit-op sequence and performing the side effects that
+        // must stay serial (logins, posting, payments). Deterministic by
+        // construction — no draws, no thread-count dependence.
+        let route_watch = footsteps_obs::Stopwatch::start();
+        let routed = self.route_day(platform, ledger, day, &plans);
+        platform
+            .obs
+            .timings
+            .record(&format!("aas.{slug}.route"), route_watch.elapsed_secs());
+        ads_today += routed.ads_today;
+
+        // Apply phase: execute the deposits, sharded by target account over
+        // the worker threads. Results line up with `routed.ops` and are
+        // byte-identical to the serial ladder for any thread count.
         let apply_watch = footsteps_obs::Stopwatch::start();
-        for plan in &plans {
-            let account = plan.account;
-            if plan.login {
-                platform.record_login(account);
-            }
-            let role = self.roles.get(&account).copied().unwrap_or_default();
-            let asn = self.asn_for(account);
+        let results = platform.apply_deposits_sharded(
+            &routed.ops,
+            platform.config.worker_threads,
+            &format!("aas.{slug}.apply.shard"),
+        );
+        platform
+            .obs
+            .timings
+            .record(&format!("aas.{slug}.apply"), apply_watch.elapsed_secs());
 
-            let mut fresh_photo = None;
-            if plan.fresh_photo {
-                let home = platform.accounts.get(account).home_asn;
-                let ip = platform.asns.ip_in(home, account.0);
-                fresh_photo = Some(platform.post_media(account, home, ip));
-            }
-
-            // --- free tier -------------------------------------------------
-            let like_requests = plan.like_requests;
-            if like_requests > 0 && self.config.catalog.free_likes_per_request > 0 {
-                let requested = like_requests * self.config.catalog.free_likes_per_request;
-                let capped = apply_cap(requested, self.like_cap_for(account));
-                let media = platform
-                    .accounts
-                    .latest_media_of(account)
-                    .map(|m| (m, self.config.catalog.free_likes_per_hour_cap.min(capped)));
-                let res =
-                    platform.deposit_inbound_enforced(account, ActionType::Like, capped, asn, Some(self.config.service), media);
-                like_stats.attempted += u64::from(requested);
-                like_stats.visible_failed += u64::from(res.blocked);
-                like_stats.success_per_recipient.push(res.visible_success());
-                let tally = like_stats.per_recipient.entry(account).or_default();
-                tally.0 += u64::from(capped);
-                tally.1 += u64::from(res.blocked);
-                tally.2 += res.visible_success();
-                total_outbound_likes += u64::from(res.attempted);
-                ads_today += u64::from(like_requests) * u64::from(plan.like_ads_each);
-            }
-            let follow_requests = plan.follow_requests;
-            if follow_requests > 0 && self.config.catalog.free_follows_per_request > 0 {
-                let requested = follow_requests * self.config.catalog.free_follows_per_request;
-                let capped = apply_cap(requested, self.follow_cap_for(account));
-                let res = platform.deposit_inbound_enforced(
-                    account,
-                    ActionType::Follow,
-                    capped,
-                    asn,
-                    Some(self.config.service),
-                    None,
-                );
-                follow_stats.attempted += u64::from(requested);
-                follow_stats.visible_failed += u64::from(res.blocked);
-                follow_stats.success_per_recipient.push(res.visible_success());
-                let tally = follow_stats.per_recipient.entry(account).or_default();
-                tally.0 += u64::from(capped);
-                tally.1 += u64::from(res.blocked);
-                tally.2 += res.visible_success();
-                total_outbound_follows += u64::from(res.attempted);
-                ads_today += u64::from(follow_requests) * u64::from(plan.follow_ads_each);
-            }
-            let comment_requests = plan.comment_requests;
-            if comment_requests > 0 {
-                let n = comment_requests * 5;
-                let media = platform.accounts.latest_media_of(account).map(|m| (m, n));
-                platform.deposit_inbound_enforced(account, ActionType::Comment, n, asn, Some(self.config.service), media);
-                total_outbound_comments += u64::from(n);
-            }
-
-            // --- paid monthly tier ----------------------------------------
-            if let (Some(_tier), Some(photo)) = (role.monthly_tier, fresh_photo) {
-                let qty = plan.monthly_qty;
-                let capped = apply_cap(qty, self.like_cap_for(account));
-                let media = Some((photo, self.config.paid_delivery_rate_per_hour.min(capped)));
-                let res =
-                    platform.deposit_inbound_enforced(account, ActionType::Like, capped, asn, Some(self.config.service), media);
-                like_stats.attempted += u64::from(qty);
-                like_stats.visible_failed += u64::from(res.blocked);
-                like_stats.success_per_recipient.push(res.visible_success());
-                let tally = like_stats.per_recipient.entry(account).or_default();
-                tally.0 += u64::from(capped);
-                tally.1 += u64::from(res.blocked);
-                tally.2 += res.visible_success();
-                total_outbound_likes += u64::from(res.attempted);
-            }
-
-            // --- Followersgratis packages ----------------------------------
-            if let Some(pkg_idx) = plan.package {
-                let pkg = self.config.followersgratis_packages[pkg_idx].clone();
-                ledger.record(Payment {
-                    day,
-                    account,
-                    service: self.config.service,
-                    cents: pkg.cents,
-                    kind: PaymentKind::Package,
-                });
-                if pkg.follows > 0 {
-                    let res = platform.deposit_inbound_enforced(
-                        account,
-                        ActionType::Follow,
-                        pkg.follows,
-                        asn,
-                        Some(self.config.service),
-                        None,
-                    );
-                    follow_stats.attempted += u64::from(pkg.follows);
-                    follow_stats.visible_failed += u64::from(res.blocked);
-                    total_outbound_follows += u64::from(pkg.follows);
+        // Attribute the outcomes back to controller statistics, walking the
+        // ops in routing order (= the serial ladder's stat-update order).
+        for ((op, used), res) in routed.ops.iter().zip(&routed.uses).zip(&results) {
+            let account = op.target;
+            match *used {
+                OpUse::FreeLike { raw, capped } | OpUse::MonthlyLike { raw, capped } => {
+                    like_stats.attempted += u64::from(raw);
+                    like_stats.visible_failed += u64::from(res.blocked);
+                    like_stats.success_per_recipient.push(res.visible_success());
+                    let tally = like_stats.per_recipient.entry(account).or_default();
+                    tally.0 += u64::from(capped);
+                    tally.1 += u64::from(res.blocked);
+                    tally.2 += res.visible_success();
+                    total_outbound_likes += u64::from(res.attempted);
                 }
-                if pkg.likes > 0 {
-                    self.deliver_burst(platform, account, pkg.likes);
-                    total_outbound_likes += u64::from(pkg.likes);
+                OpUse::FreeFollow { raw, capped } => {
+                    follow_stats.attempted += u64::from(raw);
+                    follow_stats.visible_failed += u64::from(res.blocked);
+                    follow_stats.success_per_recipient.push(res.visible_success());
+                    let tally = follow_stats.per_recipient.entry(account).or_default();
+                    tally.0 += u64::from(capped);
+                    tally.1 += u64::from(res.blocked);
+                    tally.2 += res.visible_success();
+                    total_outbound_follows += u64::from(res.attempted);
+                }
+                OpUse::Comment => {
+                    total_outbound_comments += u64::from(res.attempted);
+                }
+                OpUse::PackageFollow { follows } => {
+                    follow_stats.attempted += u64::from(follows);
+                    follow_stats.visible_failed += u64::from(res.blocked);
+                    total_outbound_follows += u64::from(follows);
+                }
+                OpUse::PackageBurst { likes } => {
+                    total_outbound_likes += u64::from(likes);
                 }
             }
         }
@@ -897,11 +878,148 @@ impl CollusionService {
             }
         }
 
-        platform
-            .obs
-            .timings
-            .record(&format!("aas.{slug}.apply"), apply_watch.elapsed_secs());
         [like_stats, follow_stats]
+    }
+
+    /// Route phase of the three-phase engine (DESIGN.md §4): turn the day's
+    /// plans into a flat [`DepositOp`] sequence in serial reference order —
+    /// per plan: free likes, free follows, comments, monthly delivery,
+    /// package follows, package burst — alongside the serial-only side
+    /// effects (logins, organic posting, package payments). Every op is
+    /// tagged with an [`OpUse`] so the post-apply walk can rebuild the
+    /// controller statistics. Zero-quantity ops are routed too: they still
+    /// attribute ground truth and push zero rows into the stats.
+    fn route_day(
+        &self,
+        platform: &mut Platform,
+        ledger: &mut PaymentLedger,
+        day: Day,
+        plans: &[MemberPlan],
+    ) -> RoutedDay {
+        let mut routed = RoutedDay::default();
+        let service = Some(self.config.service);
+        for plan in plans {
+            let account = plan.account;
+            if plan.login {
+                platform.record_login(account);
+            }
+            let role = self.roles.get(&account).copied().unwrap_or_default();
+            let asn = self.asn_for(account);
+
+            let mut fresh_photo = None;
+            if plan.fresh_photo {
+                let home = platform.accounts.get(account).home_asn;
+                let ip = platform.asns.ip_in(home, account.0);
+                fresh_photo = Some(platform.post_media(account, home, ip));
+            }
+
+            // --- free tier -------------------------------------------------
+            if plan.like_requests > 0 && self.config.catalog.free_likes_per_request > 0 {
+                let raw = plan.like_requests * self.config.catalog.free_likes_per_request;
+                let capped = apply_cap(raw, self.like_cap_for(account));
+                let media = platform
+                    .accounts
+                    .latest_media_of(account)
+                    .map(|m| (m, self.config.catalog.free_likes_per_hour_cap.min(capped)));
+                routed.ops.push(DepositOp {
+                    target: account,
+                    ty: ActionType::Like,
+                    requested: capped,
+                    asn,
+                    service,
+                    media,
+                });
+                routed.uses.push(OpUse::FreeLike { raw, capped });
+                routed.ads_today +=
+                    u64::from(plan.like_requests) * u64::from(plan.like_ads_each);
+            }
+            if plan.follow_requests > 0 && self.config.catalog.free_follows_per_request > 0 {
+                let raw = plan.follow_requests * self.config.catalog.free_follows_per_request;
+                let capped = apply_cap(raw, self.follow_cap_for(account));
+                routed.ops.push(DepositOp {
+                    target: account,
+                    ty: ActionType::Follow,
+                    requested: capped,
+                    asn,
+                    service,
+                    media: None,
+                });
+                routed.uses.push(OpUse::FreeFollow { raw, capped });
+                routed.ads_today +=
+                    u64::from(plan.follow_requests) * u64::from(plan.follow_ads_each);
+            }
+            if plan.comment_requests > 0 {
+                let n = plan.comment_requests * 5;
+                let media = platform.accounts.latest_media_of(account).map(|m| (m, n));
+                routed.ops.push(DepositOp {
+                    target: account,
+                    ty: ActionType::Comment,
+                    requested: n,
+                    asn,
+                    service,
+                    media,
+                });
+                routed.uses.push(OpUse::Comment);
+            }
+
+            // --- paid monthly tier ----------------------------------------
+            if let (Some(_tier), Some(photo)) = (role.monthly_tier, fresh_photo) {
+                let raw = plan.monthly_qty;
+                let capped = apply_cap(raw, self.like_cap_for(account));
+                let media = Some((photo, self.config.paid_delivery_rate_per_hour.min(capped)));
+                routed.ops.push(DepositOp {
+                    target: account,
+                    ty: ActionType::Like,
+                    requested: capped,
+                    asn,
+                    service,
+                    media,
+                });
+                routed.uses.push(OpUse::MonthlyLike { raw, capped });
+            }
+
+            // --- Followersgratis packages ----------------------------------
+            if let Some(pkg_idx) = plan.package {
+                let pkg = self.config.followersgratis_packages[pkg_idx].clone();
+                ledger.record(Payment {
+                    day,
+                    account,
+                    service: self.config.service,
+                    cents: pkg.cents,
+                    kind: PaymentKind::Package,
+                });
+                if pkg.follows > 0 {
+                    routed.ops.push(DepositOp {
+                        target: account,
+                        ty: ActionType::Follow,
+                        requested: pkg.follows,
+                        asn,
+                        service,
+                        media: None,
+                    });
+                    routed.uses.push(OpUse::PackageFollow {
+                        follows: pkg.follows,
+                    });
+                }
+                if pkg.likes > 0 {
+                    let capped = apply_cap(pkg.likes, self.like_cap_for(account));
+                    let media = platform
+                        .accounts
+                        .latest_media_of(account)
+                        .map(|m| (m, self.config.paid_delivery_rate_per_hour.max(capped / 4)));
+                    routed.ops.push(DepositOp {
+                        target: account,
+                        ty: ActionType::Like,
+                        requested: capped,
+                        asn,
+                        service,
+                        media,
+                    });
+                    routed.uses.push(OpUse::PackageBurst { likes: pkg.likes });
+                }
+            }
+        }
+        routed
     }
 
     /// Deliver a one-time like burst to the customer's latest photo at the

@@ -1,6 +1,6 @@
-//! The parallel decision phase of the two-phase daily engine.
+//! The parallel decision phase of the three-phase daily engine.
 //!
-//! Each simulated service-day is split in two (DESIGN.md §4):
+//! Each simulated service-day is split in three (DESIGN.md §4):
 //!
 //! 1. a **decision phase** that computes, for every engaged customer, what
 //!    the service will do today (logins, batch sizes, IP draws, purchase
@@ -9,9 +9,17 @@
 //!    `(scenario seed, service stream label, account id, day)` via
 //!    [`footsteps_sim::rng::decision_rng`]. Because no decision depends on
 //!    processing order, this phase shards freely across worker threads;
-//! 2. a serial **apply phase** that submits the plans to the platform in
-//!    roster order, which is where all the order-sensitive mutation
-//!    (enforcement, reciprocation scheduling, controller feedback) happens.
+//! 2. a serial **route phase** that walks the plans in roster order and
+//!    performs the order-sensitive serial work: for the reciprocity engines
+//!    this is the whole outbound submission ladder; for the collusion
+//!    engines it flattens the plans into a deterministic sequence of
+//!    [`footsteps_sim::prelude::DepositOp`]s (plus logins, posts, payments);
+//! 3. an **apply phase** that executes the routed deposit ops, sharded by
+//!    *target account* over dense-ID arena ranges
+//!    ([`footsteps_sim::platform::Platform::apply_deposits_sharded`]). Shard
+//!    workers draw no randomness and mutate only state they own; a serial
+//!    merge sweep folds their deltas back in a canonical order, so results
+//!    stay byte-identical for any thread count.
 //!
 //! [`plan_parallel`] is the decision-phase harness both service engines use:
 //! it fans the roster out over scoped worker threads in contiguous shards

@@ -577,9 +577,12 @@ impl ReciprocityService {
             .metrics
             .add(&format!("aas.{slug}.planned_batches"), planned_batches);
 
-        // Apply phase: submit the plans serially, in roster order. All
-        // platform mutation and controller feedback happens here.
-        let apply_watch = footsteps_obs::Stopwatch::start();
+        // Route phase: submit the plans serially, in roster order. All
+        // platform mutation and controller feedback happens here. The
+        // reciprocity engines have no sharded apply — their hot path is the
+        // outbound batch middleware, which is already cheap — so the span is
+        // `route`, reserving `aas.<slug>.apply` for sharded deposit phases.
+        let route_watch = footsteps_obs::Stopwatch::start();
         for (plan, (_, _, _, requested)) in plans.iter_mut().zip(&engaged) {
             if plan.login_home {
                 platform.record_login(plan.account);
@@ -628,7 +631,7 @@ impl ReciprocityService {
         platform
             .obs
             .timings
-            .record(&format!("aas.{slug}.apply"), apply_watch.elapsed_secs());
+            .record(&format!("aas.{slug}.route"), route_watch.elapsed_secs());
         stats
     }
 

@@ -1,64 +1,82 @@
 //! End-to-end engine throughput baseline.
 //!
-//! Runs the `smoke` scenario to completion, times the whole study, and
-//! writes `BENCH_daily_engine.json` with wall time, days/sec, actions/sec,
-//! and the worker thread count, so engine changes can be compared against a
-//! committed number.
+//! Runs a scenario to completion, times the whole study, and writes
+//! `BENCH_daily_engine.json` with wall time, days/sec, actions/sec, the
+//! results digest, and the worker thread count, so engine changes can be
+//! compared against a committed number.
 //!
-//! Usage: `perf_baseline [--json] [seed] [output-path]`
+//! Usage: `perf_baseline [--json] [--scenario NAME] [--threads LIST] [seed] [output-path]`
+//!
+//! * `--scenario smoke|scaled|paper|quick` picks the preset (default
+//!   `smoke`, the CI gate's scenario; `scaled` is the committed
+//!   multi-thread bench).
+//! * `--threads 1,2,8` enables sweep mode: the study runs once per listed
+//!   thread count (overriding `FOOTSTEPS_THREADS`) and the report is a JSON
+//!   **array** with one record per thread count, so a single committed file
+//!   documents the scaling curve and proves the digest is thread-invariant.
 //!
 //! With `--json` the report is serialized through serde and additionally
 //! embeds the study's deterministic metrics snapshot and the wall-clock
 //! span timings — the machine-readable form `scripts/ci.sh` consumes for
-//! its perf-regression gate. Without the flag the compact hand-formatted
-//! report of earlier revisions is kept byte-compatible.
+//! its perf-regression and thread-invariance gates. Without the flag (and
+//! without `--threads`) the compact hand-formatted report of earlier
+//! revisions is kept byte-compatible.
 
 use std::time::Instant;
 
+use footsteps_core::results::StudyResults;
 use footsteps_core::{Scenario, Study};
 use footsteps_obs::{progress, MetricsSnapshot, TimingsSnapshot};
 use footsteps_sim::prelude::*;
 use serde::Serialize;
 
-/// The machine-readable (`--json`) report shape.
+/// The machine-readable (`--json`) report shape; sweep mode emits an array
+/// of these, one per thread count.
 #[derive(Serialize)]
 struct PerfReport {
     bench: &'static str,
-    scenario: &'static str,
+    scenario: String,
     seed: u64,
     threads: usize,
+    /// CPUs available on the bench host. Thread counts above this value
+    /// oversubscribe the machine, so their records document digest
+    /// invariance rather than speedup — readers (and the CI gate) must
+    /// interpret the scaling curve relative to this bound.
+    host_cpus: usize,
     setup_secs: f64,
     run_secs: f64,
     days: u64,
     days_per_sec: f64,
     actions: u64,
     actions_per_sec: f64,
+    /// FNV-1a digest of the canonical results JSON, hex. Must be identical
+    /// across every `threads` value — `scripts/ci.sh` compares the 1- and
+    /// 8-thread records.
+    results_digest: String,
+    /// Summed `aas.<service>.apply` wall time: the sharded deposit phase
+    /// the ISSUE 6 speedup gate measures.
+    apply_secs: f64,
     /// Deterministic counters/histograms from the study run.
     metrics: MetricsSnapshot,
     /// Wall-clock spans (non-deterministic; for profiling only).
     timings: TimingsSnapshot,
 }
 
-fn main() {
-    let mut json = false;
-    let mut positional = Vec::new();
-    for arg in std::env::args().skip(1) {
-        if arg == "--json" {
-            json = true;
-        } else {
-            positional.push(arg);
-        }
+fn scenario_by_name(name: &str, seed: u64) -> Scenario {
+    match name {
+        "smoke" => Scenario::smoke(seed),
+        "scaled" => Scenario::default_scaled(seed),
+        "paper" => Scenario::paper(seed),
+        "quick" => Scenario::quick(seed),
+        other => panic!("unknown scenario '{other}' (smoke|scaled|paper|quick)"),
     }
-    let mut positional = positional.into_iter();
-    let seed: u64 = positional
-        .next()
-        .map(|s| s.parse().expect("seed must be an integer"))
-        .unwrap_or(7);
-    let out_path = positional
-        .next()
-        .unwrap_or_else(|| "BENCH_daily_engine.json".to_string());
+}
 
-    let scenario = Scenario::smoke(seed);
+fn run_one(scenario_name: &str, seed: u64, threads_override: Option<usize>) -> PerfReport {
+    let mut scenario = scenario_by_name(scenario_name, seed);
+    if let Some(t) = threads_override {
+        scenario.worker_threads = t.clamp(1, 256);
+    }
     let threads = scenario.worker_threads;
 
     let build_start = Instant::now();
@@ -76,39 +94,108 @@ fn main() {
             actions += u64::from(counts.total_attempted());
         }
     }
+    let digest = StudyResults::collect(&study).digest();
+    let timings = study.platform.obs.timings.snapshot();
+    let apply_secs: f64 = ServiceId::ALL
+        .iter()
+        .filter_map(|s| timings.get(&format!("aas.{}.apply", s.slug())))
+        .map(|span| span.total_secs)
+        .sum();
 
-    let report = if json {
-        let report = PerfReport {
-            bench: "daily_engine",
-            scenario: "smoke",
-            seed,
-            threads,
-            setup_secs: build_secs,
-            run_secs,
-            days,
-            days_per_sec: days as f64 / run_secs,
-            actions,
-            actions_per_sec: actions as f64 / run_secs,
-            metrics: study.platform.obs.metrics.snapshot(),
-            timings: study.platform.obs.timings.snapshot(),
-        };
-        let mut body = serde_json::to_string_pretty(&report).expect("perf report serializes");
+    progress!(
+        "daily_engine[{scenario_name}, {threads}T]: {days} days in {run_secs:.2}s \
+         ({:.2} days/sec, apply {apply_secs:.2}s)",
+        days as f64 / run_secs
+    );
+    PerfReport {
+        bench: "daily_engine",
+        scenario: scenario_name.to_string(),
+        seed,
+        threads,
+        host_cpus: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        setup_secs: build_secs,
+        run_secs,
+        days,
+        days_per_sec: days as f64 / run_secs,
+        actions,
+        actions_per_sec: actions as f64 / run_secs,
+        results_digest: format!("0x{digest:016x}"),
+        apply_secs,
+        metrics: study.platform.obs.metrics.snapshot(),
+        timings,
+    }
+}
+
+fn main() {
+    let mut json = false;
+    let mut scenario_name = "smoke".to_string();
+    let mut threads_list: Option<Vec<usize>> = None;
+    let mut positional = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--scenario" => {
+                scenario_name = args.next().expect("--scenario needs a name");
+            }
+            "--threads" => {
+                let list = args.next().expect("--threads needs a comma list, e.g. 1,2,8");
+                threads_list = Some(
+                    list.split(',')
+                        .map(|s| s.trim().parse().expect("thread counts must be integers"))
+                        .collect(),
+                );
+            }
+            _ => positional.push(arg),
+        }
+    }
+    let mut positional = positional.into_iter();
+    let seed: u64 = positional
+        .next()
+        .map(|s| s.parse().expect("seed must be an integer"))
+        .unwrap_or(7);
+    let out_path = positional
+        .next()
+        .unwrap_or_else(|| "BENCH_daily_engine.json".to_string());
+
+    let plain = !json && threads_list.is_none();
+    let report = if let Some(threads_list) = threads_list {
+        // Sweep mode: one record per thread count, always serde JSON.
+        assert!(!threads_list.is_empty(), "--threads list must be non-empty");
+        let records: Vec<PerfReport> = threads_list
+            .iter()
+            .map(|&t| run_one(&scenario_name, seed, Some(t)))
+            .collect();
+        let digests: Vec<&str> = records.iter().map(|r| r.results_digest.as_str()).collect();
+        assert!(
+            digests.windows(2).all(|w| w[0] == w[1]),
+            "results digest varied across thread counts: {digests:?}"
+        );
+        let mut body = serde_json::to_string_pretty(&records).expect("perf reports serialize");
+        body.push('\n');
+        body
+    } else if json {
+        let record = run_one(&scenario_name, seed, None);
+        let mut body = serde_json::to_string_pretty(&record).expect("perf report serializes");
         body.push('\n');
         body
     } else {
+        let r = run_one(&scenario_name, seed, None);
         format!(
-            "{{\n  \"bench\": \"daily_engine\",\n  \"scenario\": \"smoke\",\n  \"seed\": {seed},\n  \"threads\": {threads},\n  \"setup_secs\": {build_secs:.3},\n  \"run_secs\": {run_secs:.3},\n  \"days\": {days},\n  \"days_per_sec\": {:.2},\n  \"actions\": {actions},\n  \"actions_per_sec\": {:.0}\n}}\n",
-            days as f64 / run_secs,
-            actions as f64 / run_secs,
+            "{{\n  \"bench\": \"daily_engine\",\n  \"scenario\": \"{}\",\n  \"seed\": {},\n  \"threads\": {},\n  \"setup_secs\": {:.3},\n  \"run_secs\": {:.3},\n  \"days\": {},\n  \"days_per_sec\": {:.2},\n  \"actions\": {},\n  \"actions_per_sec\": {:.0}\n}}\n",
+            r.scenario,
+            r.seed,
+            r.threads,
+            r.setup_secs,
+            r.run_secs,
+            r.days,
+            r.days_per_sec,
+            r.actions,
+            r.actions_per_sec,
         )
     };
     std::fs::write(&out_path, &report).expect("write report");
-    if json {
-        progress!(
-            "daily_engine: {days} days in {run_secs:.2}s ({:.2} days/sec)",
-            days as f64 / run_secs
-        );
-    } else {
+    if plain {
         print!("{report}");
     }
     progress!("wrote {out_path}");

@@ -16,28 +16,44 @@ fn main() {
         1.0 / study.scenario.scale,
         study.scenario.population_size
     );
-    println!("{}", render::franchise_note());
-    println!("{}", render::table01());
-    println!("{}", render::table02(Some(&study)));
-    println!("{}", render::table03());
-    println!("{}", render::table04());
-    println!("{}", render::table05(&study));
-    println!("{}", render::detection_quality(&study));
-    println!("{}", render::table06(&study));
-    println!("{}", render::table07(&study));
-    println!("{}", render::table08(&study));
-    println!("{}", render::table09(&study));
-    println!("{}", render::table10(&study));
-    println!("{}", render::table11(&study));
-    println!("{}", render::figure02(&study));
-    println!("{}", render::figures0304(&study));
-    println!("{}", render::figure05(&study));
-    println!("{}", render::figure06(&study));
-    println!("{}", render::figure07(&study));
-    println!("{}", render::section51(&study));
-    println!("{}", render::epilogue(&study));
-    println!("{}", render::obs(&study));
+    // Each section renders from the frozen study independently, so the
+    // analysis epilogue fans out over the worker threads and prints the
+    // joined sections in fixed order — stdout is byte-identical for any
+    // `FOOTSTEPS_THREADS`, keeping EXPERIMENTS.md redirects reproducible.
+    let study = &study;
+    let indices: Vec<usize> = (0..20).collect();
+    let sections = footsteps_aas::plan_parallel(
+        &indices,
+        study.platform.config.worker_threads,
+        |&i| match i {
+            0 => render::franchise_note(),
+            1 => render::table01(),
+            2 => render::table02(Some(study)),
+            3 => render::table03(),
+            4 => render::table04(),
+            5 => render::table05(study),
+            6 => render::detection_quality(study),
+            7 => render::table06(study),
+            8 => render::table07(study),
+            9 => render::table08(study),
+            10 => render::table09(study),
+            11 => render::table10(study),
+            12 => render::table11(study),
+            13 => render::figure02(study),
+            14 => render::figures0304(study),
+            15 => render::figure05(study),
+            16 => render::figure06(study),
+            17 => render::figure07(study),
+            18 => render::section51(study),
+            19 => render::epilogue(study),
+            _ => unreachable!("section index out of range"),
+        },
+    );
+    for section in sections {
+        println!("{section}");
+    }
+    println!("{}", render::obs(study));
     // Wall-clock spans are non-deterministic — keep them off stdout so
     // redirecting this binary into EXPERIMENTS.md stays reproducible.
-    eprint!("{}", render::obs_timings(&study));
+    eprint!("{}", render::obs_timings(study));
 }

@@ -42,10 +42,12 @@ pub struct Scenario {
     pub delay_bin: u32,
     /// Control bin (shared by narrow, broad and epilogue phases).
     pub control_bin: u32,
-    /// Worker threads for the parallel decision phase of each simulated
-    /// day. Results are byte-identical for every value (the apply phase is
-    /// serial and per-account RNG streams are position-independent); this
-    /// only trades wall time. Presets read `FOOTSTEPS_THREADS`, default 1.
+    /// Worker threads for the parallel phases of each simulated day: the
+    /// decision phase, the sharded deposit apply phase, and the analysis
+    /// epilogue fork-joins. Results are byte-identical for every value
+    /// (the route phase and merge sweeps are serial and canonical, and
+    /// shard workers draw no randomness); this only trades wall time.
+    /// Presets read `FOOTSTEPS_THREADS`, default 1.
     pub worker_threads: usize,
 }
 

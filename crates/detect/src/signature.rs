@@ -89,16 +89,23 @@ pub fn extract_signature(
 }
 
 /// Extract signatures for every service with registered honeypots.
+///
+/// Extraction is read-only per service, so the five services fan out over
+/// the platform's worker threads ([`footsteps_aas::plan_parallel`] joins in
+/// `ServiceId::ALL` order — the output is deterministic for any thread
+/// count).
 pub fn extract_all(
     framework: &HoneypotFramework,
     platform: &Platform,
     start: Day,
     end: Day,
 ) -> Vec<ServiceSignature> {
-    ServiceId::ALL
-        .into_iter()
-        .filter_map(|s| extract_signature(framework, platform, s, start, end))
-        .collect()
+    footsteps_aas::plan_parallel(&ServiceId::ALL, platform.config.worker_threads, |&s| {
+        extract_signature(framework, platform, s, start, end)
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 #[cfg(test)]

@@ -129,16 +129,26 @@ pub fn compute_thresholds(
     start: Day,
     end: Day,
 ) -> ThresholdTable {
-    let mut table = ThresholdTable::default();
-    for sig in signatures {
-        for &asn in &sig.asns {
-            let kind = asn_traffic_kind(platform, classification, asn, start, end);
-            table.asn_kinds.insert(asn, kind);
+    // One work item per (signature, ASN), in deterministic signature order;
+    // each item's percentile scans are independent reads of the frozen log,
+    // so they fan out over the worker threads and merge back in item order.
+    let items: Vec<(AsnId, Direction)> = signatures
+        .iter()
+        .flat_map(|sig| {
             let direction = if sig.collusion {
                 Direction::Inbound
             } else {
                 Direction::Outbound
             };
+            sig.asns.iter().map(move |&asn| (asn, direction))
+        })
+        .collect();
+    let computed = footsteps_aas::plan_parallel(
+        &items,
+        platform.config.worker_threads,
+        |&(asn, direction)| {
+            let kind = asn_traffic_kind(platform, classification, asn, start, end);
+            let mut rows: Vec<(ActionType, u32)> = Vec::new();
             for ty in [ActionType::Like, ActionType::Follow] {
                 let threshold = match kind {
                     AsnTraffic::Benign => continue,
@@ -180,8 +190,16 @@ pub fn compute_thresholds(
                         }
                     }
                 };
-                table.set(asn, ty, direction, threshold);
+                rows.push((ty, threshold));
             }
+            (kind, rows)
+        },
+    );
+    let mut table = ThresholdTable::default();
+    for (&(asn, direction), (kind, rows)) in items.iter().zip(&computed) {
+        table.asn_kinds.insert(asn, *kind);
+        for &(ty, threshold) in rows {
+            table.set(asn, ty, direction, threshold);
         }
     }
     table

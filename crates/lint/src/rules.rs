@@ -51,11 +51,21 @@ pub const ENV_READ_FILES: &[&str] =
 /// braces, and catches files the compiler attribute does not cover yet.
 pub const UNSAFE_ALLOWLIST: &[&str] = &[];
 
-/// Function names forming the parallel decision-phase ("shard") paths: the
-/// bodies of these functions, plus every argument list of a
-/// `plan_parallel(...)` call, must not touch observability state (PR 2's
-/// serial-only metrics contract).
-pub const PLAN_FNS: &[&str] = &["plan_parallel", "plan_customer", "plan_member"];
+/// Function names forming the shard paths of the three-phase daily engine:
+/// the decision phase (`plan_*`), the route phase (`route_day`, whose
+/// output feeds the digest and must stay metrics-free so plan/route moves
+/// never change the snapshot), and the sharded apply phase (`apply_shard`,
+/// which runs on worker threads). The bodies of these functions, plus
+/// every argument list of a `plan_parallel(...)` call, must not touch
+/// observability state (PR 2's serial-only metrics contract) — callers
+/// record merged counters and wall spans around these regions instead.
+pub const PLAN_FNS: &[&str] = &[
+    "plan_parallel",
+    "plan_customer",
+    "plan_member",
+    "route_day",
+    "apply_shard",
+];
 
 /// Identifiers that indicate observability access inside a shard path.
 const OBS_TOKENS: &[&str] = &[

@@ -1,11 +1,24 @@
-// Fixture: parallel-metrics. Observability access inside a plan function
-// body is a violation; the same access on the serial apply path is fine.
+// Fixture: parallel-metrics. Observability access inside a plan, route, or
+// shard-apply function body is a violation; the same access on the serial
+// merge path is fine.
 pub fn plan_parallel(items: &[u32]) -> Vec<u32> {
     let out = items.to_vec();
     metrics.incr("aas.plans");
     out
 }
 
-pub fn serial_apply() {
+pub fn route_day(plans: &[u32]) -> Vec<u32> {
+    let ops = plans.to_vec();
+    obs.metrics.incr("aas.routed");
+    ops
+}
+
+pub fn apply_shard(ops: &[u32]) -> u32 {
+    let delivered = ops.iter().sum();
+    timings.record("aas.apply.shard", 0.0);
+    delivered
+}
+
+pub fn serial_merge() {
     metrics.incr("aas.apply");
 }

@@ -128,9 +128,13 @@ fn env_read_confined_to_entry_points() {
 fn parallel_metrics_denied_in_plan_paths() {
     let findings = lint_one("crates/aas/src/parallel_metrics.rs", PARALLEL_METRICS);
     let hits = by_rule(&findings, Rule::ParallelMetrics);
-    // Only the recording inside `plan_parallel`; the serial path is fine.
-    assert_eq!(hits.len(), 1, "findings: {findings:#?}");
-    assert!(hits[0].snippet.contains("aas.plans"));
+    // One recording inside each of `plan_parallel`, `route_day` and
+    // `apply_shard`; the serial merge is fine.
+    assert_eq!(hits.len(), 3, "findings: {findings:#?}");
+    assert!(hits.iter().any(|f| f.snippet.contains("aas.plans")));
+    assert!(hits.iter().any(|f| f.snippet.contains("aas.routed")));
+    assert!(hits.iter().any(|f| f.snippet.contains("aas.apply.shard")));
+    assert!(hits.iter().all(|f| f.is_violation()));
 }
 
 #[test]

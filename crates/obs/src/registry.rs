@@ -160,6 +160,18 @@ impl MetricsRegistry {
         self.add(key, 1);
     }
 
+    /// Fold a batch of counter deltas into the current frame. This is the
+    /// merge half of the sharded-apply contract: worker shards accumulate
+    /// plain `(key, n)` pairs into their own local structs (no registry
+    /// access off the serial path), and the serial merge sweep applies them
+    /// here. Zero deltas are skipped just like [`MetricsRegistry::add`], so
+    /// the set of materialized keys cannot depend on how work was sharded.
+    pub fn apply_delta<'a>(&mut self, delta: impl IntoIterator<Item = (&'a str, u64)>) {
+        for (key, n) in delta {
+            self.add(key, n);
+        }
+    }
+
     /// Set the named gauge to `value`.
     pub fn gauge(&mut self, key: &str, value: i64) {
         let frame = self.frame();

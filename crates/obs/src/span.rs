@@ -176,4 +176,43 @@ mod tests {
         assert_eq!(v, 42);
         assert_eq!(t.snapshot().get("closure").unwrap().count, 1);
     }
+
+    #[test]
+    fn concurrent_shard_spans_nest_under_distinct_keys() {
+        // The sharded-apply span contract: each worker measures its own CPU
+        // time with a `Stopwatch`, the coordinator measures the wall time of
+        // the whole scope, and the two land under *different* keys
+        // (`<name>.shard` vs `<name>`). Summing `total_secs` across a
+        // `TimingsSnapshot` therefore counts the parallel region once at
+        // wall cost; the per-shard CPU detail stays available separately.
+        let mut t = Timings::new();
+        let wall = Stopwatch::start();
+        let shard_secs: Vec<f64> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let w = Stopwatch::start();
+                        std::hint::black_box((0..10_000u64).sum::<u64>());
+                        w.elapsed_secs()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("shard panicked")).collect()
+        });
+        // Merge in shard-index order on the serial side, never from workers.
+        for secs in &shard_secs {
+            t.record("aas.test.apply.shard", *secs);
+        }
+        t.record("aas.test.apply", wall.elapsed_secs());
+
+        let snap = t.snapshot();
+        let shards = snap.get("aas.test.apply.shard").expect("shard spans recorded");
+        let merged = snap.get("aas.test.apply").expect("wall span recorded");
+        assert_eq!(shards.count, 4);
+        assert_eq!(merged.count, 1);
+        // The wall span covers every shard, so no shard can exceed it, and
+        // the shard aggregate never leaks into the merged key's total.
+        assert!(shards.max_secs <= merged.total_secs + 1e-9);
+        assert!(merged.total_secs < shards.total_secs + merged.max_secs + 1e-9);
+    }
 }

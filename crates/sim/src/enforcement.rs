@@ -116,7 +116,11 @@ pub struct NoEnforcement;
 /// positive rate".
 /// `Debug` is a supertrait so containers holding a `Box<dyn
 /// EnforcementPolicy>` (the [`crate::platform::Platform`]) can derive it.
-pub trait EnforcementPolicy: std::fmt::Debug {
+/// `Send + Sync` are supertraits so the sharded apply phase can evaluate
+/// the installed policy from scoped worker threads; policies are plain
+/// configuration data (thresholds, bins, windows) fixed before the day
+/// runs, so shared immutable access is safe by construction.
+pub trait EnforcementPolicy: std::fmt::Debug + Send + Sync {
     /// Decide what happens to a submission.
     fn evaluate(&self, ctx: &EnforcementContext) -> EnforcementDecision;
 }

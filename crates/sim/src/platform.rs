@@ -27,13 +27,13 @@
 //! [`Platform::begin_day`], which the engine calls at each day boundary.
 
 use crate::account::{AccountStore, ReciprocityProfile};
-use crate::actions::{ActionEvent, ActionOutcome, ActionTarget, ActionType};
+use crate::actions::{ActionEvent, ActionOutcome, ActionTarget, ActionType, TypeCounts};
+use crate::apply::{apply_shard, split_decision, DepositOp, ShardApply};
 use crate::behavior::{
     response_probability, sample_binomial, BehaviorParams, ResponseChannel,
 };
 use crate::enforcement::{
-    Countermeasure, Direction, EnforcementContext, EnforcementDecision, EnforcementPolicy,
-    NoEnforcement,
+    Countermeasure, Direction, EnforcementContext, EnforcementPolicy, NoEnforcement,
 };
 use crate::fingerprint::ClientFingerprint;
 use crate::graph::SocialGraph;
@@ -60,9 +60,11 @@ pub struct PlatformConfig {
     /// the day of the action itself. The paper observed reciprocation
     /// "uniformly distributed throughout the trial period".
     pub response_window_days: u32,
-    /// Worker threads for the parallel decision phase of the daily engine
-    /// (DESIGN.md §4). Results are byte-identical for any value ≥ 1; this
-    /// only controls how the per-customer planning work is sharded.
+    /// Worker threads for the parallel phases of the daily engine
+    /// (DESIGN.md §4): the per-customer decision (plan) phase and the
+    /// target-sharded apply phase, plus the analysis/detection fork-joins.
+    /// Results are byte-identical for any value ≥ 1; this only controls how
+    /// the work is sharded.
     pub worker_threads: usize,
 }
 
@@ -724,6 +726,183 @@ impl Platform {
         result
     }
 
+    /// Apply a routed batch of inbound deposits, sharded by target account
+    /// across up to `threads` scoped workers (the apply phase of the
+    /// three-phase daily engine, DESIGN.md §4).
+    ///
+    /// Semantically identical to calling
+    /// [`Self::deposit_inbound_enforced`] once per op in `ops` order: the
+    /// returned `BatchResult`s line up with `ops`, and every observable
+    /// side effect (log records and their insertion order, enforcement
+    /// counters and traces, follower/media deltas, scheduled removals) is
+    /// byte-identical to the serial ladder for **any** thread count. See
+    /// [`crate::apply`] for the determinism argument.
+    ///
+    /// Per-shard wall time is recorded under `shard_span` (one span per
+    /// shard, merged in shard-index order); the caller owns the enclosing
+    /// wall span.
+    pub fn apply_deposits_sharded(
+        &mut self,
+        ops: &[DepositOp],
+        threads: usize,
+        shard_span: &str,
+    ) -> Vec<BatchResult> {
+        // Ground truth is attributed for every op — including zero-quantity
+        // ones — exactly as the serial ladder does before its early return.
+        for op in ops {
+            self.note_ground_truth(op.target, op.service);
+        }
+        if ops.is_empty() {
+            return Vec::new();
+        }
+        let day = self.clock.today();
+        let n_accounts = self.accounts.len();
+        let shards = threads.max(1).min(n_accounts.max(1));
+        let bounds: Vec<usize> = (0..=shards).map(|s| s * n_accounts / shards).collect();
+        let mut shard_seqs: Vec<Vec<u32>> = vec![Vec::new(); shards];
+        for (seq, op) in ops.iter().enumerate() {
+            let s = bounds.partition_point(|&b| b <= op.target.index()) - 1;
+            shard_seqs[s].push(seq as u32);
+        }
+
+        // Freeze the day's log state: shards read `prior_today` from this
+        // snapshot plus their own local deltas. Policy and log are shared
+        // read-only; each worker owns one disjoint arena range.
+        let frozen = self.log.day(day);
+        let policy: &dyn EnforcementPolicy = &*self.policy;
+        let mut shard_results: Vec<(ShardApply, f64)> = Vec::with_capacity(shards);
+        if shards <= 1 {
+            let watch = footsteps_obs::Stopwatch::start();
+            let mut all = self.accounts.split_ranges_mut(&bounds);
+            let slice = all.pop().expect("split_ranges_mut yields one range per shard");
+            let r = apply_shard(ops, &shard_seqs[0], day, frozen, policy, slice, 0);
+            shard_results.push((r, watch.elapsed_secs()));
+        } else {
+            let slices = self.accounts.split_ranges_mut(&bounds);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = slices
+                    .into_iter()
+                    .zip(&shard_seqs)
+                    .zip(bounds.windows(2))
+                    .map(|((slice, seqs), w)| {
+                        let base = w[0];
+                        scope.spawn(move || {
+                            let watch = footsteps_obs::Stopwatch::start();
+                            let r = apply_shard(ops, seqs, day, frozen, policy, slice, base);
+                            (r, watch.elapsed_secs())
+                        })
+                    })
+                    .collect();
+                // Join in shard-index order: the merge order below is the
+                // spawn order, never the completion order.
+                for h in handles {
+                    shard_results.push(h.join().expect("apply shard panicked"));
+                }
+            });
+        }
+
+        // ---- serial merge sweep ------------------------------------------
+        // 1. Per-shard spans, in shard-index order.
+        for (_, secs) in &shard_results {
+            self.obs.timings.record(shard_span, *secs);
+        }
+        // 2. Counter deltas (zero deltas are skipped by the registry, so the
+        //    materialized key set is shard-count-invariant).
+        for (r, _) in &shard_results {
+            let c = &r.counters;
+            self.obs.metrics.apply_delta([
+                ("platform.inbound.delivered", c.delivered),
+                ("platform.inbound.blocked", c.blocked),
+                ("platform.inbound.deferred", c.deferred),
+            ]);
+            for (row, cols) in c.bins.iter().enumerate() {
+                let keys = bin_keys(if row < 10 { row as u32 } else { u32::MAX });
+                self.obs.metrics.apply_delta([
+                    (keys.delivered, cols[0]),
+                    (keys.blocked, cols[1]),
+                    (keys.deferred, cols[2]),
+                ]);
+            }
+        }
+        // 3. Log segments, merged in global first-touch order. Keys are
+        //    disjoint across shards (the key contains the target), so this
+        //    reproduces the serial ladder's open-day insertion order.
+        let mut recs: Vec<(u32, (AccountId, Option<AsnId>), TypeCounts)> = shard_results
+            .iter()
+            .flat_map(|(r, _)| r.records.iter().copied())
+            .collect();
+        recs.sort_unstable_by_key(|&(first_seq, _, _)| first_seq);
+        if !recs.is_empty() {
+            let d = self.log.day_mut(day);
+            for (_, key, counts) in &recs {
+                d.merge_inbound(*key, counts);
+            }
+        }
+        // 4. Photo-burst and media deltas (commutative folds).
+        for (r, _) in &shard_results {
+            for (&media_id, &(total, max_hourly)) in &r.photo {
+                self.log.record_photo_likes(day, media_id, total, max_hourly);
+            }
+            for (&media_id, &n) in &r.media_likes {
+                self.accounts.media_mut(media_id).likes += n;
+            }
+            for (&media_id, &n) in &r.media_comments {
+                self.accounts.media_mut(media_id).comments += n;
+            }
+        }
+        // 5. One walk of the outcomes in routing order replays the serial
+        //    ladder's trace events and removal scheduling.
+        let mut results: Vec<BatchResult> = ops
+            .iter()
+            .map(|op| BatchResult {
+                attempted: op.requested,
+                ..BatchResult::default()
+            })
+            .collect();
+        let mut bins: Vec<Option<u32>> = vec![None; ops.len()];
+        for (r, _) in &shard_results {
+            for o in &r.outcomes {
+                let i = o.seq as usize;
+                results[i].delivered = o.delivered;
+                results[i].blocked = o.blocked;
+                results[i].deferred = o.deferred;
+                bins[i] = o.bin;
+            }
+        }
+        for (i, op) in ops.iter().enumerate() {
+            if op.requested == 0 {
+                continue;
+            }
+            let r = results[i];
+            if let Some(b) = bins[i] {
+                self.obs
+                    .trace
+                    .push("intervene.bin", op.target.0 as u64, u64::from(b), 0);
+            }
+            let bin_tag = bins[i].map_or(u64::MAX, u64::from);
+            if r.blocked > 0 {
+                self.obs
+                    .trace
+                    .push("enforce.block", op.target.0 as u64, u64::from(r.blocked), bin_tag);
+            }
+            if r.deferred > 0 {
+                self.obs
+                    .trace
+                    .push("enforce.defer", op.target.0 as u64, u64::from(r.deferred), bin_tag);
+            }
+            if op.ty == ActionType::Follow && r.deferred > 0 {
+                day_queue(&mut self.pending_removals, day.next()).push(
+                    PendingRemoval::Aggregate {
+                        from: op.target,
+                        to: Some(op.target),
+                        count: r.deferred,
+                    },
+                );
+            }
+        }
+        results
+    }
+
     /// Deposit `standing + deferred` inbound actions of type `ty` onto
     /// `target` (collusion-network delivery), with no enforcement. The
     /// caller has already pushed the corresponding *outbound* batches
@@ -1289,28 +1468,11 @@ fn bin_keys(bin: u32) -> BinKeys {
     }
 }
 
-/// Resolve a policy decision into `(pass, excess, effective_cm)`, taking
-/// into account that delayed removal only exists for follows.
-fn split_decision(
-    decision: EnforcementDecision,
-    requested: u32,
-    action: ActionType,
-) -> (u32, u32, Countermeasure) {
-    let pass = decision.pass.min(requested);
-    let excess = requested - pass;
-    let cm = match decision.excess {
-        // "It was not possible to apply a delayed countermeasure on likes":
-        // delay degrades to no-op for anything but follows.
-        Countermeasure::DelayRemoval if action != ActionType::Follow => Countermeasure::None,
-        other => other,
-    };
-    (pass, excess, cm)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::account::ProfileKind;
+    use crate::enforcement::EnforcementDecision;
     use crate::country::Country;
     use crate::net::AsnKind;
     use rand::SeedableRng;

@@ -58,19 +58,25 @@ if ! printf '%s\n' "$report_out" | grep -q "cross-seed variance: [1-9]"; then
 fi
 echo "sweep gate: OK (2 distinct digests, no-op resume, nonzero variance)"
 
-echo "== perf baseline (smoke scenario) =="
-cargo run --release -p footsteps-bench --bin perf_baseline -- --json 7 /tmp/BENCH_daily_engine.ci.json
+echo "== perf baseline (smoke scenario, 1 and 8 worker threads) =="
+cargo run --release -p footsteps-bench --bin perf_baseline -- --json --threads 1 7 /tmp/BENCH_daily_engine.ci.json
+cargo run --release -p footsteps-bench --bin perf_baseline -- --json --threads 8 7 /tmp/BENCH_daily_engine.ci.t8.json
 
 echo "== perf regression gate =="
 # Fail if fresh throughput drops below TOLERANCE x the committed baseline.
 BASELINE_FILE="BENCH_daily_engine.baseline.json"
 FRESH_FILE="/tmp/BENCH_daily_engine.ci.json"
+FRESH_T8_FILE="/tmp/BENCH_daily_engine.ci.t8.json"
 TOLERANCE="${FOOTSTEPS_PERF_TOLERANCE:-0.85}"
 
 extract_days_per_sec() {
   # Accepts plain decimals and scientific notation (1234.5, 1.2345e3);
   # the old [0-9.]* pattern silently truncated "1.2e3" to "1.2".
   sed -n 's/.*"days_per_sec": *\(-\{0,1\}[0-9][0-9]*\(\.[0-9][0-9]*\)\{0,1\}\([eE][+-]\{0,1\}[0-9][0-9]*\)\{0,1\}\).*/\1/p' "$1" | head -n 1
+}
+
+extract_results_digest() {
+  sed -n 's/.*"results_digest": *"\(0x[0-9a-f]*\)".*/\1/p' "$1" | head -n 1
 }
 
 # A throughput must be a finite positive number, or the gate is meaningless.
@@ -97,5 +103,37 @@ if ! awk -v f="$fresh" -v b="$baseline" -v t="$TOLERANCE" \
   exit 1
 fi
 echo "perf gate: OK ($fresh >= $TOLERANCE x $baseline days/sec)"
+
+echo "== multi-thread gate (thread-invariant digest + throughput) =="
+# The sharded apply phase must be byte-identical for any FOOTSTEPS_THREADS:
+# the 8-thread results digest must equal the 1-thread digest.
+digest_t1=$(extract_results_digest "$FRESH_FILE")
+digest_t8=$(extract_results_digest "$FRESH_T8_FILE")
+if [ -z "$digest_t1" ] || [ -z "$digest_t8" ]; then
+  echo "thread gate: could not extract results_digest (t1='$digest_t1', t8='$digest_t8')" >&2
+  exit 1
+fi
+if [ "$digest_t1" != "$digest_t8" ]; then
+  echo "thread gate: FAIL — digest differs across thread counts ($digest_t1 vs $digest_t8)" >&2
+  exit 1
+fi
+
+# Throughput: on a multicore host, 8 workers must not be slower than 1.
+# On a single-core host 8 threads purely oversubscribe the CPU (spawn
+# overhead, no parallelism), so the comparison measures nothing about
+# regressions — the 1-thread baseline gate above covers those; here only
+# the digest equality is enforced.
+fresh_t8=$(extract_days_per_sec "$FRESH_T8_FILE")
+check_positive_number "$FRESH_T8_FILE" "$fresh_t8"
+cpus=$(nproc 2>/dev/null || echo 1)
+if [ "$cpus" -ge 2 ]; then
+  if ! awk -v t8="$fresh_t8" -v t1="$fresh" 'BEGIN { exit !(t8 >= t1) }'; then
+    echo "thread gate: FAIL — 8T $fresh_t8 < 1T $fresh days/sec on $cpus cpus" >&2
+    exit 1
+  fi
+else
+  echo "thread gate: single-core host — skipping the 8T >= 1T throughput floor"
+fi
+echo "thread gate: OK (digest $digest_t1 invariant; 8T $fresh_t8 vs 1T $fresh days/sec on $cpus cpu(s))"
 
 echo "CI OK"
