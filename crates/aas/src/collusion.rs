@@ -679,20 +679,25 @@ impl CollusionService {
             })
             .collect();
 
-        // Decision phase: plan every engaged member's day in parallel.
-        let decision_watch = footsteps_obs::Stopwatch::start();
-        let plans = crate::engine::plan_parallel(
+        // Decision phase: plan every engaged member's day in parallel. The
+        // phase is an open span; each plan worker's busy interval lands as
+        // a lane under `aas.<slug>.decision.worker`.
+        let slug = self.config.service.slug();
+        let decision_span = platform.obs.timings.start(&format!("aas.{slug}.decision"));
+        let region_t0 = platform.obs.timings.now_secs();
+        let (plans, decision_lanes) = crate::engine::plan_parallel_timed(
             &engaged,
             platform.config.worker_threads,
             |&(account, honeypot, _)| self.plan_member(day, account, honeypot),
         );
+        platform.obs.timings.attach_workers(
+            &format!("aas.{slug}.decision.worker"),
+            region_t0,
+            &decision_lanes,
+        );
+        platform.obs.timings.finish(decision_span);
         // Plan counts come from the merged (roster-order) list so the metric
         // values are independent of the decision-phase shard count.
-        let slug = self.config.service.slug();
-        platform
-            .obs
-            .timings
-            .record(&format!("aas.{slug}.decision"), decision_watch.elapsed_secs());
         let planned_requests: u64 = plans
             .iter()
             .map(|p| u64::from(p.like_requests) + u64::from(p.follow_requests) + u64::from(p.comment_requests))
@@ -710,27 +715,23 @@ impl CollusionService {
         // the day's deposit-op sequence and performing the side effects that
         // must stay serial (logins, posting, payments). Deterministic by
         // construction — no draws, no thread-count dependence.
-        let route_watch = footsteps_obs::Stopwatch::start();
+        let route_span = platform.obs.timings.start(&format!("aas.{slug}.route"));
         let routed = self.route_day(platform, ledger, day, &plans);
-        platform
-            .obs
-            .timings
-            .record(&format!("aas.{slug}.route"), route_watch.elapsed_secs());
+        platform.obs.timings.finish(route_span);
         ads_today += routed.ads_today;
 
         // Apply phase: execute the deposits, sharded by target account over
         // the worker threads. Results line up with `routed.ops` and are
-        // byte-identical to the serial ladder for any thread count.
-        let apply_watch = footsteps_obs::Stopwatch::start();
+        // byte-identical to the serial ladder for any thread count. The
+        // shard workers' lanes attach under this open span inside
+        // `apply_deposits_sharded`.
+        let apply_span = platform.obs.timings.start(&format!("aas.{slug}.apply"));
         let results = platform.apply_deposits_sharded(
             &routed.ops,
             platform.config.worker_threads,
             &format!("aas.{slug}.apply.shard"),
         );
-        platform
-            .obs
-            .timings
-            .record(&format!("aas.{slug}.apply"), apply_watch.elapsed_secs());
+        platform.obs.timings.finish(apply_span);
 
         // Attribute the outcomes back to controller statistics, walking the
         // ops in routing order (= the serial ladder's stat-update order).

@@ -33,6 +33,8 @@
 //! any `FOOTSTEPS_THREADS`. Decision/apply wall-clock goes to the timings
 //! section, which is quarantined from deterministic output by design.
 
+use footsteps_obs::{Stopwatch, WorkerSpan};
+
 /// Plan every item of `items`, using up to `threads` scoped worker threads.
 ///
 /// `plan` must be a pure function of the item and shared state (it runs
@@ -45,27 +47,68 @@ where
     P: Send,
     F: Fn(&T) -> P + Sync,
 {
+    plan_parallel_timed(items, threads, plan).0
+}
+
+/// [`plan_parallel`] plus per-lane wall-clock intervals for the span tree.
+///
+/// Each worker copies a region [`Stopwatch`] started at entry and reports
+/// its busy interval as offsets against it; the serial caller grafts the
+/// lanes onto the span tree with `Timings::attach_workers`. Lane index =
+/// shard index, so the lane *set* is as deterministic as the shard split
+/// (durations, of course, are not). The single-thread path reports one
+/// inline lane 0 so traces keep the same shape at `FOOTSTEPS_THREADS=1`.
+pub fn plan_parallel_timed<T, P, F>(
+    items: &[T],
+    threads: usize,
+    plan: F,
+) -> (Vec<P>, Vec<WorkerSpan>)
+where
+    T: Sync,
+    P: Send,
+    F: Fn(&T) -> P + Sync,
+{
+    let region = Stopwatch::start();
     let threads = threads.max(1).min(items.len().max(1));
     if threads <= 1 {
-        return items.iter().map(&plan).collect();
+        let out: Vec<P> = items.iter().map(&plan).collect();
+        let lanes = if items.is_empty() {
+            Vec::new()
+        } else {
+            vec![WorkerSpan { lane: 0, start_secs: 0.0, end_secs: region.elapsed_secs() }]
+        };
+        return (out, lanes);
     }
     let chunk = items.len().div_ceil(threads);
     let mut out = Vec::with_capacity(items.len());
+    let mut lanes = Vec::with_capacity(threads);
     std::thread::scope(|s| {
         let handles: Vec<_> = items
             .chunks(chunk)
-            .map(|shard| {
+            .enumerate()
+            .map(|(lane, shard)| {
                 let plan = &plan;
-                s.spawn(move || shard.iter().map(plan).collect::<Vec<P>>())
+                s.spawn(move || {
+                    let start_secs = region.elapsed_secs();
+                    let plans = shard.iter().map(plan).collect::<Vec<P>>();
+                    let span = WorkerSpan {
+                        lane: lane as u32,
+                        start_secs,
+                        end_secs: region.elapsed_secs(),
+                    };
+                    (plans, span)
+                })
             })
             .collect();
         // Joining in spawn order is the merge: shard k's plans land at
         // offset k * chunk no matter when its worker finishes.
         for h in handles {
-            out.extend(h.join().expect("decision worker panicked"));
+            let (plans, span) = h.join().expect("decision worker panicked");
+            out.extend(plans);
+            lanes.push(span);
         }
     });
-    out
+    (out, lanes)
 }
 
 #[cfg(test)]
@@ -112,5 +155,24 @@ mod tests {
     fn empty_roster_is_fine() {
         let got: Vec<u8> = plan_parallel(&[] as &[u8], 8, |&x| x);
         assert!(got.is_empty());
+    }
+
+    #[test]
+    fn timed_variant_reports_one_lane_per_shard_in_lane_order() {
+        let items: Vec<u32> = (0..40).collect();
+        for threads in [1usize, 2, 4, 8] {
+            let (plans, lanes) = plan_parallel_timed(&items, threads, |&x| x + 1);
+            assert_eq!(plans.len(), items.len(), "threads={threads}");
+            assert_eq!(lanes.len(), threads, "threads={threads}");
+            for (i, lane) in lanes.iter().enumerate() {
+                assert_eq!(lane.lane as usize, i);
+                assert!(lane.end_secs >= lane.start_secs);
+                assert!(lane.start_secs >= 0.0);
+            }
+        }
+        // Empty rosters attach no lanes (the caller records nothing).
+        let (plans, lanes) = plan_parallel_timed(&[] as &[u8], 8, |&x| x);
+        assert!(plans.is_empty());
+        assert!(lanes.is_empty());
     }
 }

@@ -549,24 +549,29 @@ impl ReciprocityService {
             .map(|c| (c.account, c.volume_multiplier, c.honeypot, c.requested.clone()))
             .collect();
 
-        // Decision phase: plan every engaged customer's day in parallel.
+        // Decision phase: plan every engaged customer's day in parallel. The
+        // phase is an open span; each plan worker's busy interval lands as a
+        // lane under `aas.<slug>.decision.worker`.
         let threads = platform.config.worker_threads;
-        let decision_watch = footsteps_obs::Stopwatch::start();
-        let mut plans = crate::engine::plan_parallel(
+        let slug = self.config.service.slug();
+        let decision_span = platform.obs.timings.start(&format!("aas.{slug}.decision"));
+        let region_t0 = platform.obs.timings.now_secs();
+        let (mut plans, decision_lanes) = crate::engine::plan_parallel_timed(
             &engaged,
             threads,
             |&(account, mult, honeypot, ref requested)| {
                 self.plan_customer(day, offer, account, mult, honeypot, requested)
             },
         );
+        platform.obs.timings.attach_workers(
+            &format!("aas.{slug}.decision.worker"),
+            region_t0,
+            &decision_lanes,
+        );
+        platform.obs.timings.finish(decision_span);
         // Metrics are recorded from the merged plan list (roster order), not
         // per worker: the values must not depend on how the decision phase
         // was sharded. Wall-clock goes to the quarantined timings section.
-        let slug = self.config.service.slug();
-        platform
-            .obs
-            .timings
-            .record(&format!("aas.{slug}.decision"), decision_watch.elapsed_secs());
         let planned_batches: u64 = plans.iter().map(|p| p.batches.len() as u64).sum();
         platform
             .obs
@@ -582,7 +587,7 @@ impl ReciprocityService {
         // reciprocity engines have no sharded apply — their hot path is the
         // outbound batch middleware, which is already cheap — so the span is
         // `route`, reserving `aas.<slug>.apply` for sharded deposit phases.
-        let route_watch = footsteps_obs::Stopwatch::start();
+        let route_span = platform.obs.timings.start(&format!("aas.{slug}.route"));
         for (plan, (_, _, _, requested)) in plans.iter_mut().zip(&engaged) {
             if plan.login_home {
                 platform.record_login(plan.account);
@@ -628,10 +633,7 @@ impl ReciprocityService {
                 self.observe_customer(plan.account, b.ty, day, &result);
             }
         }
-        platform
-            .obs
-            .timings
-            .record(&format!("aas.{slug}.route"), route_watch.elapsed_secs());
+        platform.obs.timings.finish(route_span);
         stats
     }
 

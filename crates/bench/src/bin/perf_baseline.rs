@@ -26,7 +26,7 @@ use std::time::Instant;
 
 use footsteps_core::results::StudyResults;
 use footsteps_core::{Scenario, Study};
-use footsteps_obs::{progress, MetricsSnapshot, TimingsSnapshot};
+use footsteps_obs::{progress, MetricsSnapshot, SpanTreeSummary, TimingsSnapshot};
 use footsteps_sim::prelude::*;
 use serde::Serialize;
 
@@ -60,6 +60,10 @@ struct PerfReport {
     metrics: MetricsSnapshot,
     /// Wall-clock spans (non-deterministic; for profiling only).
     timings: TimingsSnapshot,
+    /// Span-tree summary: per-phase inclusive/exclusive wall totals, lane
+    /// counts, obs overhead, and the deterministic structure digest
+    /// (`scripts/ci.sh` compares the digest across thread counts).
+    span_tree: SpanTreeSummary,
 }
 
 fn scenario_by_name(name: &str, seed: u64) -> Scenario {
@@ -123,6 +127,7 @@ fn run_one(scenario_name: &str, seed: u64, threads_override: Option<usize>) -> P
         apply_secs,
         metrics: study.platform.obs.metrics.snapshot(),
         timings,
+        span_tree: study.platform.obs.timings.summary(),
     }
 }
 

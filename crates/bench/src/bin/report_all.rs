@@ -9,7 +9,14 @@ use footsteps_bench::render;
 use footsteps_core::Phase;
 
 fn main() {
-    let study = footsteps_bench::study_to(Phase::Finished);
+    let mut study = footsteps_bench::study_to(Phase::Finished);
+    // Honour FOOTSTEPS_TRACE_OUT here too (study_to drives phases
+    // directly, bypassing run_to_completion's export).
+    match study.platform.obs.export_trace() {
+        Ok(Some(path)) => eprintln!("chrome trace written to {}", path.display()),
+        Ok(None) => {}
+        Err(e) => eprintln!("chrome trace export failed: {e}"),
+    }
     println!(
         "footsteps reproduction report — seed {}, scale 1/{:.0}, population {}\n",
         study.scenario.seed,
@@ -56,4 +63,5 @@ fn main() {
     // Wall-clock spans are non-deterministic — keep them off stdout so
     // redirecting this binary into EXPERIMENTS.md stays reproducible.
     eprint!("{}", render::obs_timings(study));
+    eprint!("{}", render::obs_flame(study, 15));
 }

@@ -659,6 +659,23 @@ pub fn obs_timings(study: &Study) -> String {
     t.render()
 }
 
+/// The hierarchical flamegraph-style span report (the `obs-report` bin's
+/// output, embedded here so `report_all` carries it too). Wall-clock —
+/// non-deterministic — so it rides the same stderr-only channel as
+/// [`obs_timings`]. Empty string when nothing was timed.
+pub fn obs_flame(study: &Study, top_k: usize) -> String {
+    let timings = &study.platform.obs.timings;
+    if timings.snapshot().is_empty() {
+        return String::new();
+    }
+    format!(
+        "Obs — hierarchical span profile (NON-DETERMINISTIC, excluded from digests)\n\
+         structure digest: {}\n{}",
+        timings.structure_digest(),
+        timings.flame_report(top_k)
+    )
+}
+
 /// The franchise note (§3.3): Instalex and Instazood share a parent.
 pub fn franchise_note() -> String {
     let (lo, hi) = catalog::FRANCHISE_FEE_RANGE_CENTS;

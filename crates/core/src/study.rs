@@ -305,12 +305,14 @@ impl Study {
     fn step_day(&mut self, day: Day) {
         let timer = self.platform.obs.timings.start("engine.step_day");
         self.platform.begin_day(day);
+        let bg_timer = self.platform.obs.timings.start("engine.background");
         run_background_day(
             &mut self.platform,
             &self.population,
             &self.background,
             &mut self.bg_rng,
         );
+        self.platform.obs.timings.finish(bg_timer);
         self.instalex
             .run_day(&mut self.platform, &self.residential, &mut self.ledger, day);
         self.instazood
@@ -337,6 +339,7 @@ impl Study {
             .timeline
             .calibration(self.scenario.calibration_tail_days);
         let build_timer = self.platform.obs.timings.start("detect.pipeline_build");
+        let build_t0 = self.platform.obs.timings.now_secs();
         let pipeline = DetectionPipeline::build_windows(
             &self.framework,
             &self.platform,
@@ -345,8 +348,11 @@ impl Study {
             cal_start,
             cal_end,
         );
-        self.platform.obs.timings.finish(build_timer);
         pipeline.record_obs(&mut self.platform.obs);
+        // Graft the build's fork-join worker lanes while the build span is
+        // still the open one.
+        pipeline.record_spans(&mut self.platform.obs.timings, build_t0);
+        self.platform.obs.timings.finish(build_timer);
         self.pipeline = Some(pipeline);
         self.platform.obs.timings.finish(timer);
         self.phase = Phase::Characterized;
@@ -408,12 +414,21 @@ impl Study {
         self.phase = Phase::Finished;
     }
 
-    /// Run every phase in order.
+    /// Run every phase in order, then export the Chrome trace if
+    /// `FOOTSTEPS_TRACE_OUT` configured one (exporting is observability
+    /// only — failures are reported, never fatal).
     pub fn run_to_completion(&mut self) {
         self.run_characterization();
         self.run_narrow();
         self.run_broad();
         self.run_epilogue();
+        match self.platform.obs.export_trace() {
+            Ok(Some(path)) => {
+                footsteps_obs::progress!("chrome trace written to {}", path.display());
+            }
+            Ok(None) => {}
+            Err(err) => footsteps_obs::progress!("chrome trace export failed: {err}"),
+        }
     }
 
     /// The detection pipeline.

@@ -100,12 +100,22 @@ pub fn extract_all(
     start: Day,
     end: Day,
 ) -> Vec<ServiceSignature> {
-    footsteps_aas::plan_parallel(&ServiceId::ALL, platform.config.worker_threads, |&s| {
-        extract_signature(framework, platform, s, start, end)
-    })
-    .into_iter()
-    .flatten()
-    .collect()
+    extract_all_timed(framework, platform, start, end).0
+}
+
+/// [`extract_all`] plus the decision workers' wall-clock lanes, for the
+/// span tree (`detect.extract.worker` under the pipeline-build span).
+pub fn extract_all_timed(
+    framework: &HoneypotFramework,
+    platform: &Platform,
+    start: Day,
+    end: Day,
+) -> (Vec<ServiceSignature>, Vec<footsteps_obs::WorkerSpan>) {
+    let (raw, lanes) =
+        footsteps_aas::plan_parallel_timed(&ServiceId::ALL, platform.config.worker_threads, |&s| {
+            extract_signature(framework, platform, s, start, end)
+        });
+    (raw.into_iter().flatten().collect(), lanes)
 }
 
 #[cfg(test)]

@@ -129,6 +129,19 @@ pub fn compute_thresholds(
     start: Day,
     end: Day,
 ) -> ThresholdTable {
+    compute_thresholds_timed(platform, classification, signatures, start, end).0
+}
+
+/// [`compute_thresholds`] plus the percentile workers' wall-clock lanes,
+/// for the span tree (`detect.thresholds.worker` under the pipeline-build
+/// span).
+pub fn compute_thresholds_timed(
+    platform: &Platform,
+    classification: &Classification,
+    signatures: &[ServiceSignature],
+    start: Day,
+    end: Day,
+) -> (ThresholdTable, Vec<footsteps_obs::WorkerSpan>) {
     // One work item per (signature, ASN), in deterministic signature order;
     // each item's percentile scans are independent reads of the frozen log,
     // so they fan out over the worker threads and merge back in item order.
@@ -143,7 +156,7 @@ pub fn compute_thresholds(
             sig.asns.iter().map(move |&asn| (asn, direction))
         })
         .collect();
-    let computed = footsteps_aas::plan_parallel(
+    let (computed, lanes) = footsteps_aas::plan_parallel_timed(
         &items,
         platform.config.worker_threads,
         |&(asn, direction)| {
@@ -202,7 +215,7 @@ pub fn compute_thresholds(
             table.set(asn, ty, direction, threshold);
         }
     }
-    table
+    (table, lanes)
 }
 
 /// Per-account daily outbound counts of `ty` on `asn`, filtered by account

@@ -22,3 +22,13 @@ pub fn apply_shard(ops: &[u32]) -> u32 {
 pub fn serial_merge() {
     metrics.incr("aas.apply");
 }
+
+pub fn caller(items: &[u32]) -> Vec<u32> {
+    // The timed harness's argument list is a shard path too: the plan
+    // closure runs on worker threads.
+    let (out, _lanes) = plan_parallel_timed(items, 4, |x| {
+        metrics.incr("aas.timed_plans");
+        *x
+    });
+    out
+}

@@ -1,13 +1,26 @@
-//! Wall-clock span timers.
+//! Wall-clock span timers over the hierarchical [`SpanTree`].
 //!
 //! Timings are *observability-only*: they live in their own
 //! [`TimingsSnapshot`], are never folded into [`crate::MetricsSnapshot`],
 //! and must never reach `StudyResults::to_json()` or the golden digest —
 //! wall-clock varies run to run even when the simulation is bit-identical.
+//! The one deliberately deterministic view is [`Timings::structure`]: span
+//! *names, nesting, lane kinds and counts* are a pure function of the
+//! serial control flow and are snapshot-tested across thread counts;
+//! durations stay quarantined here.
+//!
+//! [`Timings`] is the serial coordinator's facade: `start`/`finish` keep a
+//! stack of open spans (parent/child links come from nesting order),
+//! `record` drops an externally measured leaf under the current span, and
+//! `attach_workers` grafts a parallel region's per-lane intervals onto the
+//! tree after the join. Worker threads never touch `Timings` — they
+//! measure against a copied [`Stopwatch`] and hand offsets back.
 
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::time::Instant;
+
+use crate::tree::{SpanHandle, SpanTree, SpanTreeSummary, StructureSnapshot, WorkerSpan};
 
 /// Aggregated wall-clock stats for one named span.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
@@ -30,10 +43,10 @@ impl SpanStats {
     }
 }
 
-/// Accumulator of span timings, keyed by span name.
+/// Accumulator of span timings: a facade over the span tree.
 #[derive(Debug, Clone, Default)]
 pub struct Timings {
-    spans: BTreeMap<String, SpanStats>,
+    tree: SpanTree,
 }
 
 impl Timings {
@@ -41,28 +54,27 @@ impl Timings {
         Self::default()
     }
 
-    /// Start a span; finish it with [`Timings::finish`].
-    pub fn start(&self, name: &'static str) -> SpanTimer {
+    /// Start a span under the currently open one; finish it with
+    /// [`Timings::finish`]. Dynamic names are fine — the tree interns one
+    /// node per `(parent, name)`.
+    pub fn start(&mut self, name: &str) -> SpanTimer {
         SpanTimer {
-            name,
-            started: Instant::now(),
+            name: name.to_string(),
+            handle: self.tree.open(name),
         }
     }
 
-    /// Record a finished span into the accumulator.
+    /// Close a span opened with [`Timings::start`]. Any child spans still
+    /// open above it are force-closed first (unbalanced-span recovery), so
+    /// a leaked timer never corrupts the stack.
     pub fn finish(&mut self, timer: SpanTimer) {
-        let secs = timer.started.elapsed().as_secs_f64();
-        self.record(timer.name, secs);
+        self.tree.close(timer.handle);
     }
 
-    /// Record an externally measured duration under `name`.
+    /// Record an externally measured leaf duration under the currently
+    /// open span.
     pub fn record(&mut self, name: &str, secs: f64) {
-        let stats = self.spans.entry(name.to_string()).or_default();
-        stats.count += 1;
-        stats.total_secs += secs;
-        if secs > stats.max_secs {
-            stats.max_secs = secs;
-        }
+        self.tree.record_leaf(name, secs);
     }
 
     /// Time a closure and record it under `name`.
@@ -73,20 +85,69 @@ impl Timings {
         out
     }
 
+    /// Seconds on the tree's timebase — the anchor for
+    /// [`Timings::attach_workers`].
+    pub fn now_secs(&self) -> f64 {
+        self.tree.now_secs()
+    }
+
+    /// Graft one parallel region's worker lanes under the currently open
+    /// span. Serial-side only; see [`SpanTree::attach_workers`].
+    pub fn attach_workers(&mut self, name: &str, region_start_secs: f64, spans: &[WorkerSpan]) {
+        self.tree.attach_workers(name, region_start_secs, spans);
+    }
+
+    /// Turn on `B`/`E` event collection for the Chrome-trace exporter.
+    pub fn enable_events(&mut self) {
+        self.tree.enable_events();
+    }
+
+    pub fn events_enabled(&self) -> bool {
+        self.tree.events_enabled()
+    }
+
+    /// Record a phase-boundary counter sample for the exporter.
+    pub fn sample_counters(&mut self, phase: &str, counters: Vec<(String, u64)>) {
+        self.tree.sample_counters(phase, counters);
+    }
+
+    /// The underlying tree (exporter/report access).
+    pub fn tree(&self) -> &SpanTree {
+        &self.tree
+    }
+
+    /// The deterministic structural view (names/nesting/lanes/counts).
+    pub fn structure(&self) -> StructureSnapshot {
+        self.tree.structure()
+    }
+
+    /// Hex FNV-1a digest of the structural snapshot.
+    pub fn structure_digest(&self) -> String {
+        format!("0x{:016x}", self.tree.structure().digest())
+    }
+
+    /// Compact per-phase summary for `perf_baseline --json`.
+    pub fn summary(&self) -> SpanTreeSummary {
+        self.tree.summary()
+    }
+
+    /// The flamegraph-style text report (see `obs-report`).
+    pub fn flame_report(&self, top_k: usize) -> String {
+        self.tree.flame_report(top_k)
+    }
+
+    /// The flat name-keyed aggregate view (wall-clock sidecar).
     pub fn snapshot(&self) -> TimingsSnapshot {
-        TimingsSnapshot {
-            spans: self.spans.clone(),
-        }
+        TimingsSnapshot { spans: self.tree.flat() }
     }
 }
 
-/// A bare wall-clock stopwatch for spans whose names are computed at run
-/// time (e.g. `aas.<slug>.decision`), which [`Timings::start`]'s
-/// `&'static str` API cannot express.
+/// A bare wall-clock stopwatch for measuring regions whose results are
+/// handed to [`Timings::record`] / [`Timings::attach_workers`] on the
+/// serial side (worker lanes copy one and report offsets against it).
 ///
 /// This is the only sanctioned way for code outside `footsteps-obs` and
-/// `footsteps-bench` to read wall-clock: measure with a `Stopwatch`, then
-/// hand the seconds to [`Timings::record`]. `footsteps-lint`'s wall-clock
+/// `footsteps-bench` to read wall-clock. `footsteps-lint`'s wall-clock
 /// rule keeps `Instant`/`SystemTime` out of the product crates.
 #[derive(Debug, Clone, Copy)]
 pub struct Stopwatch {
@@ -105,17 +166,17 @@ impl Stopwatch {
     }
 }
 
-/// An in-flight span. Holds the start instant; hand it back to
-/// [`Timings::finish`] to record.
+/// An in-flight span: a handle into the open-span stack. Hand it back to
+/// [`Timings::finish`] to close and record.
 #[derive(Debug)]
 pub struct SpanTimer {
-    name: &'static str,
-    started: Instant,
+    name: String,
+    handle: SpanHandle,
 }
 
 impl SpanTimer {
-    pub fn name(&self) -> &'static str {
-        self.name
+    pub fn name(&self) -> &str {
+        &self.name
     }
 }
 
@@ -178,41 +239,69 @@ mod tests {
     }
 
     #[test]
+    fn nested_spans_fold_into_the_flat_view() {
+        // The flat sidecar stays backwards-compatible: nesting changes
+        // where spans sit in the tree, not how they aggregate by name.
+        let mut t = Timings::new();
+        let phase = t.start("phase.characterization");
+        for _ in 0..3 {
+            let day = t.start("engine.step_day");
+            t.record("aas.instalex.decision", 0.001);
+            t.finish(day);
+        }
+        t.finish(phase);
+        let snap = t.snapshot();
+        assert_eq!(snap.get("engine.step_day").unwrap().count, 3);
+        assert_eq!(snap.get("aas.instalex.decision").unwrap().count, 3);
+        assert_eq!(snap.get("phase.characterization").unwrap().count, 1);
+        // And the structure remembers the nesting the flat view drops.
+        let s = t.structure();
+        assert_eq!(s.spans[0].name, "phase.characterization");
+        assert_eq!(s.spans[0].children[0].name, "engine.step_day");
+        assert_eq!(s.spans[0].children[0].children[0].name, "aas.instalex.decision");
+    }
+
+    #[test]
     fn concurrent_shard_spans_nest_under_distinct_keys() {
-        // The sharded-apply span contract: each worker measures its own CPU
-        // time with a `Stopwatch`, the coordinator measures the wall time of
-        // the whole scope, and the two land under *different* keys
-        // (`<name>.shard` vs `<name>`). Summing `total_secs` across a
+        // The sharded-apply span contract: each worker measures its own
+        // interval against a *copied* region stopwatch, the coordinator
+        // attaches the offsets after the join (`<name>.shard` worker lanes
+        // under the open `<name>` span). Summing `total_secs` across a
         // `TimingsSnapshot` therefore counts the parallel region once at
         // wall cost; the per-shard CPU detail stays available separately.
         let mut t = Timings::new();
-        let wall = Stopwatch::start();
-        let shard_secs: Vec<f64> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..4)
-                .map(|_| {
-                    scope.spawn(|| {
-                        let w = Stopwatch::start();
+        let apply = t.start("aas.test.apply");
+        let region_t0 = t.now_secs();
+        let region = Stopwatch::start();
+        let lanes: Vec<WorkerSpan> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4u32)
+                .map(|lane| {
+                    scope.spawn(move || {
+                        let start_secs = region.elapsed_secs();
                         std::hint::black_box((0..10_000u64).sum::<u64>());
-                        w.elapsed_secs()
+                        WorkerSpan { lane, start_secs, end_secs: region.elapsed_secs() }
                     })
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().expect("shard panicked")).collect()
         });
-        // Merge in shard-index order on the serial side, never from workers.
-        for secs in &shard_secs {
-            t.record("aas.test.apply.shard", *secs);
-        }
-        t.record("aas.test.apply", wall.elapsed_secs());
+        // Attach in one region on the serial side, never from workers.
+        t.attach_workers("aas.test.apply.shard", region_t0, &lanes);
+        t.finish(apply);
 
         let snap = t.snapshot();
         let shards = snap.get("aas.test.apply.shard").expect("shard spans recorded");
         let merged = snap.get("aas.test.apply").expect("wall span recorded");
         assert_eq!(shards.count, 4);
         assert_eq!(merged.count, 1);
-        // The wall span covers every shard, so no shard can exceed it, and
-        // the shard aggregate never leaks into the merged key's total.
+        // The wall span covers every shard, so no shard can exceed it.
         assert!(shards.max_secs <= merged.total_secs + 1e-9);
-        assert!(merged.total_secs < shards.total_secs + merged.max_secs + 1e-9);
+        // Structurally the shard node is a worker child of the wall span
+        // and counts one *region* regardless of lane count.
+        let s = t.structure();
+        assert_eq!(s.spans[0].name, "aas.test.apply");
+        assert_eq!(s.spans[0].children[0].name, "aas.test.apply.shard");
+        assert_eq!(s.spans[0].children[0].lane, "worker");
+        assert_eq!(s.spans[0].children[0].count, 1);
     }
 }

@@ -770,13 +770,21 @@ impl Platform {
         // read-only; each worker owns one disjoint arena range.
         let frozen = self.log.day(day);
         let policy: &dyn EnforcementPolicy = &*self.policy;
-        let mut shard_results: Vec<(ShardApply, f64)> = Vec::with_capacity(shards);
+        // Worker lanes measure against a copied region stopwatch anchored
+        // at `region_t0` on the span-tree timebase; the serial side grafts
+        // them under the caller's open span after the join.
+        let region_t0 = self.obs.timings.now_secs();
+        let region = footsteps_obs::Stopwatch::start();
+        let mut shard_results: Vec<(ShardApply, footsteps_obs::WorkerSpan)> =
+            Vec::with_capacity(shards);
         if shards <= 1 {
-            let watch = footsteps_obs::Stopwatch::start();
+            let start_secs = region.elapsed_secs();
             let mut all = self.accounts.split_ranges_mut(&bounds);
             let slice = all.pop().expect("split_ranges_mut yields one range per shard");
             let r = apply_shard(ops, &shard_seqs[0], day, frozen, policy, slice, 0);
-            shard_results.push((r, watch.elapsed_secs()));
+            let span =
+                footsteps_obs::WorkerSpan { lane: 0, start_secs, end_secs: region.elapsed_secs() };
+            shard_results.push((r, span));
         } else {
             let slices = self.accounts.split_ranges_mut(&bounds);
             std::thread::scope(|scope| {
@@ -784,12 +792,18 @@ impl Platform {
                     .into_iter()
                     .zip(&shard_seqs)
                     .zip(bounds.windows(2))
-                    .map(|((slice, seqs), w)| {
+                    .enumerate()
+                    .map(|(lane, ((slice, seqs), w))| {
                         let base = w[0];
                         scope.spawn(move || {
-                            let watch = footsteps_obs::Stopwatch::start();
+                            let start_secs = region.elapsed_secs();
                             let r = apply_shard(ops, seqs, day, frozen, policy, slice, base);
-                            (r, watch.elapsed_secs())
+                            let span = footsteps_obs::WorkerSpan {
+                                lane: lane as u32,
+                                start_secs,
+                                end_secs: region.elapsed_secs(),
+                            };
+                            (r, span)
                         })
                     })
                     .collect();
@@ -802,10 +816,11 @@ impl Platform {
         }
 
         // ---- serial merge sweep ------------------------------------------
-        // 1. Per-shard spans, in shard-index order.
-        for (_, secs) in &shard_results {
-            self.obs.timings.record(shard_span, *secs);
-        }
+        // 1. Per-shard worker lanes, grafted in shard-index order under the
+        //    caller's open apply span.
+        let lanes: Vec<footsteps_obs::WorkerSpan> =
+            shard_results.iter().map(|(_, span)| *span).collect();
+        self.obs.timings.attach_workers(shard_span, region_t0, &lanes);
         // 2. Counter deltas (zero deltas are skipped by the registry, so the
         //    materialized key set is shard-count-invariant).
         for (r, _) in &shard_results {

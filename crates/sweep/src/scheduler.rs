@@ -23,13 +23,15 @@
 //! produces the same manifest digests.
 
 use std::fs;
+use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use footsteps_analysis::stats::Welford;
 use footsteps_core::results::StudyResults;
 use footsteps_core::{Phase, Scenario, Study};
-use footsteps_obs::MetricsSnapshot;
+use footsteps_obs::{progress, MetricsSnapshot, Stopwatch};
 
 use crate::checkpoint::{self, scenario_hash, write_atomic};
 use crate::manifest::{now_unix, JobEntry, JobStatus, Manifest};
@@ -73,6 +75,12 @@ pub fn results_path(dir: &Path, variant: &str, seed: u64) -> PathBuf {
 /// metrics, so they travel in a sibling file).
 pub fn metrics_path(dir: &Path, variant: &str, seed: u64) -> PathBuf {
     dir.join(format!("metrics_{variant}_s{seed}.json"))
+}
+
+/// Per-job Chrome-trace location (written next to the job's checkpoints
+/// at every phase boundary; observability only, never digested).
+pub fn trace_path(dir: &Path, variant: &str, seed: u64) -> PathBuf {
+    dir.join(format!("trace_{variant}_s{seed}.json"))
 }
 
 /// Read back a per-job results file.
@@ -156,11 +164,76 @@ fn check_compatible(existing: &Manifest, cfg: &SweepConfig) -> Result<(), SweepE
     Ok(())
 }
 
+/// Shared sweep progress: completed-job counts plus a Welford accumulator
+/// over completed job durations, which prices the wall-clock ETA lines.
+/// Counts are deterministic; durations (and thus the ETA) are wall-clock
+/// and never leave the `progress!` stream.
+struct SweepProgress {
+    total: usize,
+    done: usize,
+    skipped: usize,
+    durations: Welford,
+}
+
+impl SweepProgress {
+    /// One `progress!` line after a job finishes: counts, the finished
+    /// job's own duration, the running mean, and the ETA for what's left.
+    fn report(&self, variant: &str, seed: u64, secs: f64) {
+        let remaining = self.total.saturating_sub(self.done + self.skipped);
+        let eta = self.durations.mean() * remaining as f64;
+        progress!(
+            "sweep {done}/{total} done ({skipped} skipped) | {variant} s{seed} {secs:.1}s | \
+             mean {mean:.1}s | eta {eta:.0}s",
+            done = self.done,
+            total = self.total,
+            skipped = self.skipped,
+            mean = self.durations.mean(),
+        );
+    }
+}
+
+/// Render the manifest's job table deterministically: one row per job in
+/// manifest order, with status, latest phase boundary, and digest. Pure
+/// function of the manifest — no wall-clock, byte-identical for any
+/// worker count or scheduling interleaving.
+pub fn progress_table(m: &Manifest) -> String {
+    let name_w = m.jobs.iter().map(|j| j.variant.len()).max().unwrap_or(7).max(7);
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<name_w$}  {:>6}  {:<8}  {:<13}  digest", "variant", "seed", "status", "phase");
+    for j in &m.jobs {
+        let status = match j.status {
+            JobStatus::Pending => "pending",
+            JobStatus::Running => "running",
+            JobStatus::Done => "done",
+        };
+        let digest = match j.digest {
+            Some(d) => format!("0x{d:016x}"),
+            None => "-".to_string(),
+        };
+        let _ = writeln!(
+            out,
+            "{:<name_w$}  {:>6}  {:<8}  {:<13}  {}",
+            j.variant,
+            j.seed,
+            status,
+            format!("{:?}", j.phase),
+            digest
+        );
+    }
+    out
+}
+
 fn schedule(dir: &Path, manifest: Manifest, workers: usize) -> Result<SweepOutcome, SweepError> {
     let workers = workers.max(1);
     let jobs: Vec<(String, u64)> =
         manifest.jobs.iter().map(|j| (j.variant.clone(), j.seed)).collect();
     let mpath = manifest_path(dir);
+    let progress = Mutex::new(SweepProgress {
+        total: jobs.len(),
+        done: 0,
+        skipped: 0,
+        durations: Welford::new(),
+    });
     let shared = Mutex::new(manifest);
     let next = AtomicUsize::new(0);
     let ran = AtomicUsize::new(0);
@@ -175,12 +248,18 @@ fn schedule(dir: &Path, manifest: Manifest, workers: usize) -> Result<SweepOutco
                 }
                 let i = next.fetch_add(1, Ordering::SeqCst);
                 let Some((variant, seed)) = jobs.get(i) else { break };
+                let watch = Stopwatch::start();
                 match run_job(dir, &mpath, &shared, variant, *seed) {
                     Ok(true) => {
                         ran.fetch_add(1, Ordering::SeqCst);
+                        let mut p = progress.lock().expect("progress lock");
+                        p.done += 1;
+                        p.durations.push(watch.elapsed_secs());
+                        p.report(variant, *seed, watch.elapsed_secs());
                     }
                     Ok(false) => {
                         skipped.fetch_add(1, Ordering::SeqCst);
+                        progress.lock().expect("progress lock").skipped += 1;
                     }
                     Err(e) => {
                         errors.lock().expect("errors lock").push(e);
@@ -192,6 +271,9 @@ fn schedule(dir: &Path, manifest: Manifest, workers: usize) -> Result<SweepOutco
     });
 
     let manifest = shared.into_inner().expect("manifest lock");
+    for line in progress_table(&manifest).lines() {
+        progress!("{line}");
+    }
     if let Some(e) = errors.into_inner().expect("errors lock").into_iter().next() {
         return Err(e);
     }
@@ -264,6 +346,12 @@ fn run_job(
             s
         }
     };
+    // Every sweep job gets a Chrome trace next to its checkpoints,
+    // regardless of `FOOTSTEPS_TRACE_OUT`. A resumed job's trace covers
+    // only the phases run since the resume (the span tree lives in memory,
+    // not in the checkpoint), which is exactly what this invocation did.
+    study.platform.obs.timings.enable_events();
+    let tpath = trace_path(dir, variant, seed);
 
     let mut digest = if study.phase >= Phase::Characterized {
         Some(read_results(&rpath)?.digest())
@@ -296,6 +384,11 @@ fn run_job(
             digest = Some(results.digest());
         }
         checkpoint::save(&study, &checkpoint::path_for(dir, variant, seed, study.phase))?;
+        study
+            .platform
+            .obs
+            .export_trace_to(&tpath)
+            .map_err(|source| SweepError::Io { path: tpath.clone(), source })?;
         let reached = study.phase;
         touch(shared, mpath, variant, seed, |j| {
             j.phase = reached;

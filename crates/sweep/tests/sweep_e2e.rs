@@ -12,7 +12,7 @@ use footsteps_sweep::aggregate::aggregate;
 use footsteps_sweep::checkpoint;
 use footsteps_sweep::manifest::{JobStatus, Manifest};
 use footsteps_sweep::scheduler::{
-    manifest_path, read_results, results_path, resume_sweep, run_sweep, SweepConfig,
+    manifest_path, read_results, results_path, resume_sweep, run_sweep, trace_path, SweepConfig,
 };
 
 fn quick(seed: u64) -> Scenario {
@@ -49,6 +49,16 @@ fn sweep_completes_skips_done_seeds_and_resumes_partial_ones() {
     // recorded (float formatting is parse-stable).
     let r1 = read_results(&results_path(&dir, "quick", 1)).expect("read seed 1 results");
     assert_eq!(r1.digest(), d1);
+
+    // Every executed job left a Chrome trace next to its checkpoints,
+    // and the trace passes the exporter's schema check.
+    for seed in [1, 2] {
+        let tpath = trace_path(&dir, "quick", seed);
+        let body = std::fs::read_to_string(&tpath)
+            .unwrap_or_else(|e| panic!("per-job trace {tpath:?}: {e}"));
+        footsteps_obs::export::validate_chrome_trace(&body)
+            .unwrap_or_else(|e| panic!("per-job trace {tpath:?} invalid: {e}"));
+    }
 
     // Relaunching the identical sweep is a no-op.
     let again = run_sweep(&cfg).expect("relaunch");
@@ -131,6 +141,17 @@ fn killed_sweep_process_resumes_to_completion() {
     let digests: Vec<u64> = manifest.jobs.iter().map(|j| j.digest.expect("digest")).collect();
     assert_eq!(digests.len(), 2);
     assert_ne!(digests[0], digests[1]);
+
+    // Finished jobs carry valid per-job trace files even across the kill:
+    // the resumed invocation rewrites the trace at each phase boundary it
+    // actually ran.
+    for job in &manifest.jobs {
+        let tpath = trace_path(&dir, &job.variant, job.seed);
+        let body = std::fs::read_to_string(&tpath)
+            .unwrap_or_else(|e| panic!("per-job trace {tpath:?}: {e}"));
+        footsteps_obs::export::validate_chrome_trace(&body)
+            .unwrap_or_else(|e| panic!("per-job trace {tpath:?} invalid: {e}"));
+    }
 
     // Resuming a finished sweep is a no-op, and the report renders.
     let out = Command::new(exe)

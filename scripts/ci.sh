@@ -136,4 +136,53 @@ else
 fi
 echo "thread gate: OK (digest $digest_t1 invariant; 8T $fresh_t8 vs 1T $fresh days/sec on $cpus cpu(s))"
 
+echo "== trace smoke gate (chrome-trace export + span-structure parity) =="
+# Run the smoke scenario with tracing fully on: the event ring
+# (FOOTSTEPS_TRACE) plus span-event collection and Chrome-trace export
+# (FOOTSTEPS_TRACE_OUT). The exported trace must pass the schema check,
+# and the results digest must equal the untraced 1-thread digest —
+# tracing is observability-only.
+TRACE_FILE="/tmp/footsteps_trace.ci.json"
+TRACED_PERF="/tmp/BENCH_daily_engine.ci.traced.json"
+FOOTSTEPS_TRACE=1 FOOTSTEPS_TRACE_OUT="$TRACE_FILE" \
+  cargo run --release -p footsteps-bench --bin perf_baseline -- --json --threads 1 7 "$TRACED_PERF"
+./target/release/obs-report --check-trace "$TRACE_FILE"
+digest_traced=$(extract_results_digest "$TRACED_PERF")
+if [ -z "$digest_traced" ] || [ "$digest_traced" != "$digest_t1" ]; then
+  echo "trace gate: FAIL — digest with tracing on ($digest_traced) != untraced digest ($digest_t1)" >&2
+  exit 1
+fi
+
+# Span-*structure* parity: names/nesting/lane kinds/region counts are a
+# pure function of the serial control flow, so the structure digest in the
+# perf reports must be identical for 1 and 8 worker threads.
+extract_structure_digest() {
+  sed -n 's/.*"structure_digest": *"\(0x[0-9a-f]*\)".*/\1/p' "$1" | head -n 1
+}
+struct_t1=$(extract_structure_digest "$FRESH_FILE")
+struct_t8=$(extract_structure_digest "$FRESH_T8_FILE")
+if [ -z "$struct_t1" ] || [ -z "$struct_t8" ]; then
+  echo "trace gate: could not extract structure_digest (t1='$struct_t1', t8='$struct_t8')" >&2
+  exit 1
+fi
+if [ "$struct_t1" != "$struct_t8" ]; then
+  echo "trace gate: FAIL — span structure differs across thread counts ($struct_t1 vs $struct_t8)" >&2
+  exit 1
+fi
+echo "trace gate: OK (valid chrome trace, digest $digest_traced invariant, structure $struct_t1 parity)"
+
+echo "== obs overhead gate (tracing on vs off) =="
+# Tracing fully on must not cost more than (1 - tolerance) of engine
+# throughput: traced days/sec >= tolerance x untraced days/sec on the
+# same host, same scenario, back to back.
+OBS_TOLERANCE="${FOOTSTEPS_OBS_TOLERANCE:-0.90}"
+fresh_traced=$(extract_days_per_sec "$TRACED_PERF")
+check_positive_number "$TRACED_PERF" "$fresh_traced"
+if ! awk -v on="$fresh_traced" -v off="$fresh" -v t="$OBS_TOLERANCE" \
+    'BEGIN { exit !(on >= t * off) }'; then
+  echo "obs overhead gate: FAIL — traced $fresh_traced < $OBS_TOLERANCE x untraced $fresh days/sec" >&2
+  exit 1
+fi
+echo "obs overhead gate: OK (traced $fresh_traced >= $OBS_TOLERANCE x untraced $fresh days/sec)"
+
 echo "CI OK"

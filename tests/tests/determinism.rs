@@ -117,6 +117,78 @@ fn golden_digest_is_independent_of_tracing() {
     );
 }
 
+/// Run the smoke scenario to completion with span-event collection fully
+/// on (the `FOOTSTEPS_TRACE_OUT` code path, enabled via the direct API
+/// because env vars are process-global and race across tests) and return
+/// the study.
+fn traced_study_with_threads(seed: u64, threads: usize) -> Study {
+    let mut scenario = Scenario::smoke(seed);
+    scenario.worker_threads = threads;
+    let mut study = Study::new(scenario);
+    study.platform.obs.timings.enable_events();
+    study.run_to_completion();
+    study
+}
+
+#[test]
+fn golden_digest_is_independent_of_span_event_collection() {
+    // The Chrome-trace exporter's event log must be observability-only:
+    // collecting B/E events for every span and exporting the trace.json
+    // cannot change a byte of the deterministic results. The golden digest
+    // is defined at the characterization boundary, so collect there, then
+    // continue to completion for the export.
+    let mut scenario = Scenario::smoke(7);
+    scenario.worker_threads = 1;
+    let mut study = Study::new(scenario);
+    study.platform.obs.timings.enable_events();
+    study.run_characterization();
+    let results = results::StudyResults::collect(&study);
+    assert_eq!(
+        results.digest(),
+        GOLDEN_SMOKE_DIGEST,
+        "span-event collection changed the deterministic results"
+    );
+    study.run_narrow();
+    study.run_broad();
+    study.run_epilogue();
+    // And the collected event log actually exports as a valid trace.
+    let dir = std::env::temp_dir().join("footsteps_determinism_trace");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("smoke_trace.json");
+    study.platform.obs.export_trace_to(&path).expect("trace exports");
+    let body = std::fs::read_to_string(&path).expect("trace file readable");
+    footsteps_obs::export::validate_chrome_trace(&body).expect("exported trace validates");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn span_structure_is_byte_identical_across_worker_threads() {
+    // The span tree's deterministic view: names, nesting, lane kinds and
+    // region counts are a pure function of the serial control flow, so the
+    // structure JSON (and its digest) cannot depend on FOOTSTEPS_THREADS.
+    // Durations stay quarantined in the wall-clock sidecar.
+    let one = traced_study_with_threads(7, 1);
+    let two = traced_study_with_threads(7, 2);
+    let eight = traced_study_with_threads(7, 8);
+    let json = one.platform.obs.timings.structure().to_json();
+    assert!(json.contains("phase.characterization"), "structure is non-trivial");
+    assert!(json.contains("aas."), "structure reaches the service engines");
+    assert_eq!(
+        json,
+        two.platform.obs.timings.structure().to_json(),
+        "1 vs 2 worker threads"
+    );
+    assert_eq!(
+        json,
+        eight.platform.obs.timings.structure().to_json(),
+        "1 vs 8 worker threads"
+    );
+    assert_eq!(
+        one.platform.obs.timings.structure_digest(),
+        eight.platform.obs.timings.structure_digest()
+    );
+}
+
 #[test]
 fn series_are_deterministic_through_interventions() {
     let run = |seed: u64| {
