@@ -103,6 +103,7 @@ where
         // Joining in spawn order is the merge: shard k's plans land at
         // offset k * chunk no matter when its worker finishes.
         for h in handles {
+            // footsteps-lint: allow(panic-in-shard) — serial join path; only re-raises a worker's own panic
             let (plans, span) = h.join().expect("decision worker panicked");
             out.extend(plans);
             lanes.push(span);

@@ -9,57 +9,150 @@
 //! and no `unsafe`. This crate machine-checks those invariants on every
 //! CI run (DESIGN.md §6 documents the rules and the pragma grammar).
 //!
+//! The analysis is interprocedural: a workspace call graph is extracted
+//! from the lexed token streams ([`graph`]), effect bits are seeded by the
+//! lexical detectors and propagated to a fixpoint ([`effects`]), and the
+//! shard deny scopes flag *transitive* reach with full call chains
+//! (`apply_shard → log_outcome → Instant::now`). The checkpoint resume
+//! format is pinned structurally via `lint-schema.lock` ([`schema`]).
+//!
 //! Exceptions are claimed *in source*, with a mandatory reason:
 //!
 //! ```text
 //! // footsteps-lint: allow(nondet-iter) — feeds an order-insensitive sum
 //! ```
 //!
-//! The library entry points ([`lint_workspace`], [`lint_files`]) are what
-//! both the CI binary and the crate's own integration tests use, so the
-//! gate exercised in CI is the same code path the tests pin.
+//! The library entry points ([`analyze_workspace`], [`analyze_files`]) are
+//! what both the CI binary and the crate's own integration tests use, so
+//! the gate exercised in CI is the same code path the tests pin.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod effects;
+pub mod graph;
 pub mod lexer;
 pub mod pragma;
 pub mod report;
 pub mod rules;
+pub mod schema;
 pub mod walker;
 
-pub use rules::{Finding, PragmaStatus, Rule, SymbolTable};
+pub use graph::GraphStats;
+pub use rules::{Finding, PragmaStatus, Rule, RuleDoc, SymbolTable, EXPLANATIONS};
+pub use schema::LockState;
 
+use lexer::Lexed;
 use std::io;
 use std::path::Path;
 
-/// Lint a set of in-memory files (`(workspace-relative path, source)`).
-///
-/// Two passes: the first builds the workspace-global table of hash/btree
-/// typed names over *all* files, the second checks each file against it —
-/// so a `HashMap` field declared in `sim` and iterated from `aas` is still
-/// caught.
-pub fn lint_files(files: &[(String, String)]) -> Vec<Finding> {
-    let mut symbols = SymbolTable::default();
-    for (_, source) in files {
-        symbols.collect(&lexer::lex(source));
-    }
-    let mut findings = Vec::new();
-    for (relpath, source) in files {
-        findings.extend(rules::check_file(relpath, source, &symbols));
-    }
-    findings
+/// A full lint run: findings plus call-graph coverage statistics.
+#[derive(Debug)]
+pub struct Analysis {
+    /// All findings (allowed ones included, for auditability).
+    pub findings: Vec<Finding>,
+    /// Resolution coverage for the `--stats` view.
+    pub stats: GraphStats,
 }
 
-/// Lint the workspace rooted at `root`. This is the entry point the CI
-/// binary runs and the meta integration test asserts on.
+/// Analyze a set of in-memory files (`(workspace-relative path, source)`).
+///
+/// The pipeline: lex every file once; build the workspace symbol table and
+/// call graph; collect pragmas; seed and propagate the effect lattice
+/// (seeds on validly-pragma'd lines do not propagate); then per file merge
+/// lexical matches, transitive graph matches, and checkpoint-schema
+/// findings, and resolve pragmas against the lot.
+pub fn analyze_files(files: &[(String, String)], lock: &LockState) -> Analysis {
+    let lexed: Vec<Lexed> = files.iter().map(|(_, s)| lexer::lex(s)).collect();
+    let refs: Vec<(&str, &Lexed)> =
+        files.iter().zip(&lexed).map(|((rel, _), l)| (rel.as_str(), l)).collect();
+
+    let mut symbols = SymbolTable::default();
+    for l in &lexed {
+        symbols.collect(l);
+    }
+    let call_graph = graph::CallGraph::build(&refs);
+    let pragmas: Vec<Vec<pragma::Pragma>> =
+        lexed.iter().map(|l| pragma::collect(&l.comments)).collect();
+
+    // A seed on a line covered by a valid, reasoned pragma for the seed's
+    // rule is vouched-for at the definition and does not propagate to
+    // callers. Chain-qualified (`via`) pragmas never match seeds — they
+    // target transitive findings at the shard root.
+    let seed_allowed = |file: usize, line: u32, bit: u8| -> bool {
+        let rule = rules::seed_rule(bit);
+        pragmas[file].iter().any(|p| {
+            p.covers == line
+                && p.error.is_none()
+                && p.reason.is_some()
+                && p.rules.iter().any(|s| s.rule == rule.name() && s.via.is_none())
+        })
+    };
+    let table = effects::compute(&call_graph, &refs, &symbols, &seed_allowed);
+
+    let mut per_file: Vec<Vec<rules::RawMatch>> = files.iter().map(|_| Vec::new()).collect();
+    for (fi, (rel, l)) in refs.iter().enumerate() {
+        per_file[fi] = rules::lexical_matches(rel, l, &symbols);
+    }
+    for (fi, m) in rules::graph_matches(&call_graph, &table, &refs) {
+        per_file[fi].push(m);
+    }
+    for (fi, m) in schema::check(&refs, lock) {
+        per_file[fi].push(m);
+    }
+
+    let mut findings = Vec::new();
+    for (fi, raw) in per_file.into_iter().enumerate() {
+        findings.extend(rules::resolve_pragmas(&files[fi].0, &files[fi].1, &pragmas[fi], raw));
+    }
+
+    let mut stats = call_graph.stats.clone();
+    stats.fixpoint_iterations = table.iterations;
+    Analysis { findings, stats }
+}
+
+/// Analyze the workspace rooted at `root`, including the committed
+/// `lint-schema.lock` (its absence is itself a finding once a checkpoint
+/// envelope exists). This is the entry point the CI binary runs and the
+/// meta integration test asserts on.
+pub fn analyze_workspace(root: &Path) -> io::Result<Analysis> {
+    let files = read_workspace(root)?;
+    let lock = match std::fs::read_to_string(root.join(schema::LOCK_FILE)) {
+        Ok(text) => LockState::Present(text),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => LockState::Absent,
+        Err(e) => return Err(e),
+    };
+    Ok(analyze_files(&files, &lock))
+}
+
+/// Lint a set of in-memory files with schema checking disabled
+/// (compatibility wrapper used by the fixture corpus).
+pub fn lint_files(files: &[(String, String)]) -> Vec<Finding> {
+    analyze_files(files, &LockState::Skip).findings
+}
+
+/// Lint the workspace rooted at `root`.
 pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    Ok(analyze_workspace(root)?.findings)
+}
+
+/// Render the current `lint-schema.lock` contents for the workspace at
+/// `root`, or `None` when no checkpoint envelope is in the scan set.
+pub fn schema_lock_contents(root: &Path) -> io::Result<Option<String>> {
+    let files = read_workspace(root)?;
+    let lexed: Vec<Lexed> = files.iter().map(|(_, s)| lexer::lex(s)).collect();
+    let refs: Vec<(&str, &Lexed)> =
+        files.iter().zip(&lexed).map(|((rel, _), l)| (rel.as_str(), l)).collect();
+    Ok(schema::snapshot(&refs).map(|snap| schema::render_lock(&snap)))
+}
+
+fn read_workspace(root: &Path) -> io::Result<Vec<(String, String)>> {
     let mut files = Vec::new();
     for (rel, abs) in walker::workspace_files(root)? {
         files.push((rel, std::fs::read_to_string(&abs)?));
     }
-    Ok(lint_files(&files))
+    Ok(files)
 }
 
 /// Count the findings that fail the build.

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! footsteps-lint [--root <DIR>] [--json] [--json-out <PATH>] [--quiet]
+//!                [--stats] [--explain <rule>] [--schema-check] [--schema-write]
 //! ```
 //!
 //! * `--root <DIR>`    workspace root (default: auto-detected from the
@@ -9,14 +10,22 @@
 //! * `--json`          print the machine-readable findings to stdout;
 //! * `--json-out <P>`  also write the JSON findings to a file (CI points
 //!   this at `/tmp`, next to the perf artifact);
-//! * `--quiet`         suppress the human-readable report.
+//! * `--quiet`         suppress the human-readable report;
+//! * `--stats`         print call-graph coverage (functions indexed, call
+//!   edges, unresolved/opaque/trait-merged counts, fixpoint iterations);
+//! * `--explain <r>`   print one rule's rationale, scope, and pragma
+//!   example (the same table DESIGN.md §6 is written from), then exit;
+//! * `--schema-check`  gate only on `checkpoint-schema`: exit 1 iff the
+//!   committed `lint-schema.lock` is stale (CI freshness gate);
+//! * `--schema-write`  regenerate `lint-schema.lock` from the current
+//!   checkpoint envelope and exit.
 //!
 //! Exit status: `0` when the workspace is clean (pragma-allowed findings
 //! are clean), `1` on any violation, `2` on usage or I/O errors.
 
 #![forbid(unsafe_code)]
 
-use footsteps_lint::{lint_workspace, report, violation_count};
+use footsteps_lint::{analyze_workspace, report, violation_count, Rule, EXPLANATIONS};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -25,6 +34,10 @@ fn main() -> ExitCode {
     let mut json = false;
     let mut json_out: Option<PathBuf> = None;
     let mut quiet = false;
+    let mut stats = false;
+    let mut explain: Option<String> = None;
+    let mut schema_check = false;
+    let mut schema_write = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -39,8 +52,19 @@ fn main() -> ExitCode {
                 None => return usage("--json-out needs a path"),
             },
             "--quiet" => quiet = true,
+            "--stats" => stats = true,
+            "--explain" => match args.next() {
+                Some(r) => explain = Some(r),
+                None => return usage("--explain needs a rule name"),
+            },
+            "--schema-check" => schema_check = true,
+            "--schema-write" => schema_write = true,
             other => return usage(&format!("unknown argument `{other}`")),
         }
+    }
+
+    if let Some(rule) = explain {
+        return explain_rule(&rule);
     }
 
     let root = match root {
@@ -63,16 +87,59 @@ fn main() -> ExitCode {
         }
     };
 
-    let findings = match lint_workspace(&root) {
-        Ok(f) => f,
+    if schema_write {
+        return match footsteps_lint::schema_lock_contents(&root) {
+            Ok(Some(text)) => {
+                let path = root.join(footsteps_lint::schema::LOCK_FILE);
+                if let Err(e) = std::fs::write(&path, text) {
+                    eprintln!("footsteps-lint: cannot write {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+                println!("footsteps-lint: wrote {}", path.display());
+                ExitCode::SUCCESS
+            }
+            Ok(None) => {
+                eprintln!(
+                    "footsteps-lint: no checkpoint envelope ({}) in the scan set",
+                    footsteps_lint::schema::CHECKPOINT_FILE
+                );
+                ExitCode::from(2)
+            }
+            Err(e) => {
+                eprintln!("footsteps-lint: scan failed: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
+
+    let analysis = match analyze_workspace(&root) {
+        Ok(a) => a,
         Err(e) => {
             eprintln!("footsteps-lint: scan failed: {e}");
             return ExitCode::from(2);
         }
     };
 
+    if schema_check {
+        let drift: Vec<_> = analysis
+            .findings
+            .iter()
+            .filter(|f| f.rule == Rule::CheckpointSchema && f.is_violation())
+            .cloned()
+            .collect();
+        if !quiet {
+            if drift.is_empty() {
+                println!("footsteps-lint: lint-schema.lock is fresh");
+            } else {
+                print!("{}", report::render_text(&drift));
+            }
+        }
+        return if drift.is_empty() { ExitCode::SUCCESS } else { ExitCode::from(1) };
+    }
+
+    let findings = analysis.findings;
     let json_text = if json || json_out.is_some() {
-        Some(report::render_json(&findings))
+        Some(report::render_json(&findings, Some(&analysis.stats)))
     } else {
         None
     };
@@ -88,6 +155,9 @@ fn main() -> ExitCode {
     if !quiet && !json {
         print!("{}", report::render_text(&findings));
     }
+    if stats && !json {
+        print!("{}", report::render_stats(&analysis.stats));
+    }
 
     if violation_count(&findings) == 0 {
         ExitCode::SUCCESS
@@ -96,8 +166,31 @@ fn main() -> ExitCode {
     }
 }
 
+fn explain_rule(name: &str) -> ExitCode {
+    match EXPLANATIONS.iter().find(|d| d.rule.name() == name) {
+        Some(doc) => {
+            println!("{}", doc.rule.name());
+            println!("  rationale: {}", doc.rationale);
+            println!("  scope:     {}", doc.scope);
+            println!("  pragma:    {}", doc.pragma);
+            ExitCode::SUCCESS
+        }
+        None => {
+            let names: Vec<&str> = Rule::ALL.iter().map(|r| r.name()).collect();
+            eprintln!(
+                "footsteps-lint: unknown rule `{name}`; known rules: {}",
+                names.join(", ")
+            );
+            ExitCode::from(2)
+        }
+    }
+}
+
 fn usage(err: &str) -> ExitCode {
     eprintln!("footsteps-lint: {err}");
-    eprintln!("usage: footsteps-lint [--root <DIR>] [--json] [--json-out <PATH>] [--quiet]");
+    eprintln!(
+        "usage: footsteps-lint [--root <DIR>] [--json] [--json-out <PATH>] [--quiet] \
+         [--stats] [--explain <rule>] [--schema-check] [--schema-write]"
+    );
     ExitCode::from(2)
 }

@@ -1,27 +1,38 @@
-//! The repo-specific rules and the per-file checking engine.
+//! The repo-specific rules: lexical token patterns plus the
+//! interprocedural deny scopes built on [`crate::graph`] and
+//! [`crate::effects`].
 //!
-//! Every rule is a token-level pattern over [`crate::lexer`] output plus a
-//! scope (which crates/sections/test-ness it applies to). The rules encode
-//! the workspace's determinism contract (DESIGN.md §6): the golden digest
-//! `0xce8aeb34fb9fe096` must be byte-identical for any `FOOTSTEPS_THREADS`,
-//! which only holds if no order-observing map iteration, ambient time,
-//! ambient randomness, or parallel-phase metrics recording sneaks into the
-//! simulation path.
+//! Every lexical rule is a token-level pattern over [`crate::lexer`]
+//! output plus a scope (which crates/sections/test-ness it applies to).
+//! The rules encode the workspace's determinism contract (DESIGN.md §6):
+//! the golden digest `0xce8aeb34fb9fe096` must be byte-identical for any
+//! `FOOTSTEPS_THREADS`, which only holds if no order-observing map
+//! iteration, ambient time, ambient randomness, or parallel-phase
+//! metrics recording sneaks into the simulation path.
+//!
+//! On top of the lexical layer, the shard deny scopes are *transitive*:
+//! effects seeded by the same detectors are propagated over the
+//! workspace call graph, so a helper that reads the wall clock and is
+//! called from `apply_shard` is flagged at the call site with its full
+//! chain (`apply_shard → log_outcome → Instant::now`).
 //!
 //! Heuristics, stated honestly: without type inference we cannot prove a
-//! receiver is a `HashMap`. The engine therefore resolves receiver names in
-//! two layers: a workspace-global table of *field* declarations
-//! (`name: HashMap<..>` outside parentheses — so a hash field declared in
-//! `sim` and iterated from `aas` is still caught), shadowed by a per-file
-//! table of every local declaration (`let`, parameter, or field) — so a
-//! `Vec`-typed field that merely shares its name with a hash field in some
-//! other crate is not flagged. The map-specific method names (`keys`,
-//! `values`, …) are suspicious on *any* receiver that is not a known BTree
-//! name. A map returned by a function call and iterated inline is not
-//! caught — reviewers still cover that gap, the lint shrinks it.
+//! receiver is a `HashMap`. The engine therefore resolves receiver names
+//! in two layers: a workspace-global table of *field* declarations
+//! (`name: HashMap<..>` outside parentheses — so a hash field declared
+//! in `sim` and iterated from `aas` is still caught), shadowed by a
+//! per-file table of every local declaration — so a `Vec`-typed field
+//! that merely shares its name with a hash field in some other crate is
+//! not flagged. The call graph documents its own approximations in
+//! [`crate::graph`]; `--stats` makes the unresolved remainder auditable.
 
-use crate::lexer::{lex, Lexed, Token, TokenKind};
-use crate::pragma::{self, Pragma};
+use crate::effects::{bits, Effects, EffectTable};
+use crate::graph::{
+    after_let, classify, matching, test_item_ranges, type_after_colon, CallGraph, Resolution,
+    Section,
+};
+use crate::lexer::{Lexed, Token, TokenKind};
+use crate::pragma::Pragma;
 
 /// Crates whose `src` feeds the golden digest: order-observing iteration
 /// over hash containers there is a correctness bug unless proven safe.
@@ -64,9 +75,10 @@ pub const UNSAFE_ALLOWLIST: &[&str] = &[];
 /// output feeds the digest and must stay metrics-free so plan/route moves
 /// never change the snapshot), and the sharded apply phase (`apply_shard`,
 /// which runs on worker threads). The bodies of these functions, plus
-/// every argument list of a `plan_parallel(...)` call, must not touch
-/// observability state (PR 2's serial-only metrics contract) — callers
-/// record merged counters and wall spans around these regions instead.
+/// every argument list of a `plan_parallel(...)` call, must not *reach* —
+/// directly or through any resolved call chain — observability state,
+/// wall-clock, ambient RNG, environment reads, panic sites, or
+/// order-observing iteration.
 pub const PLAN_FNS: &[&str] = &[
     "plan_parallel",
     "plan_parallel_timed",
@@ -77,7 +89,7 @@ pub const PLAN_FNS: &[&str] = &[
 ];
 
 /// Identifiers that indicate observability access inside a shard path.
-const OBS_TOKENS: &[&str] = &[
+pub(crate) const OBS_TOKENS: &[&str] = &[
     "footsteps_obs",
     "obs",
     "metrics",
@@ -87,10 +99,50 @@ const OBS_TOKENS: &[&str] = &[
     "Recorder",
 ];
 
-const AMBIENT_RNG_BANNED: &[&str] = &["thread_rng", "from_entropy", "from_rng"];
-const ORDER_METHODS_ANY_RECEIVER: &[&str] =
+/// Files whose functions *are* the metrics sink: calling into them from a
+/// shard path is a `parallel-metrics` violation regardless of the binding
+/// name at the call site. `span.rs` (Stopwatch/spans) is deliberately
+/// absent — worker wall-time flows through it into quarantined
+/// `TimingsSnapshot` lanes by design (DESIGN.md §5).
+pub(crate) const OBS_RECORDING_FILES: &[&str] = &[
+    "crates/obs/src/registry.rs",
+    "crates/obs/src/trace.rs",
+    "crates/obs/src/progress.rs",
+];
+
+/// Functions declared panic-free for the `panic-in-shard` rule: their
+/// `unwrap`/`expect`/macro sites are vetted (documented at the
+/// definition) and the effect is stripped before propagation. Entries
+/// are bare names or `Type::name` displays.
+///
+/// * `stable_bin` — asserts `bins > 0`; every product call site passes
+///   the `NUM_BINS` constant (10), so the assert is an input-validation
+///   invariant that cannot fire from a shard path.
+pub const PANIC_FREE_FNS: &[&str] = &["stable_bin"];
+
+/// Files holding the canonical-order merge helpers: float accumulation
+/// there defines the reference summation order (`analysis::stats`
+/// Welford/mean helpers), so the `float-accum-order` effect is stripped.
+pub const CANONICAL_MERGE_FILES: &[&str] = &["crates/analysis/src/stats.rs"];
+
+/// Function names forming the shard-merge / Welford-merge paths checked
+/// by `float-accum-order`: float accumulation in (or reachable from)
+/// them must be routed through [`CANONICAL_MERGE_FILES`].
+pub const FLOAT_MERGE_FNS: &[&str] =
+    &["merge", "merge_inbound", "apply_delta", "apply_deposits_sharded"];
+
+pub(crate) const AMBIENT_RNG_BANNED: &[&str] = &["thread_rng", "from_entropy", "from_rng"];
+pub(crate) const ORDER_METHODS_ANY_RECEIVER: &[&str] =
     &["keys", "values", "values_mut", "into_keys", "into_values"];
-const ORDER_METHODS_KNOWN_RECEIVER: &[&str] = &["iter", "iter_mut", "into_iter", "drain"];
+pub(crate) const ORDER_METHODS_KNOWN_RECEIVER: &[&str] =
+    &["iter", "iter_mut", "into_iter", "drain"];
+
+/// Primitive type names recorded in declaration tables (so a local
+/// `count: u64` both shadows a global hash name and proves non-float).
+const PRIMITIVES: &[&str] = &[
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize",
+    "bool", "char", "str",
+];
 
 /// The lint rules.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -105,6 +157,12 @@ pub enum Rule {
     EnvRead,
     /// Observability access inside a parallel decision-phase shard path.
     ParallelMetrics,
+    /// `unwrap`/`expect`/`panic!` reachable from a scoped parallel worker.
+    PanicInShard,
+    /// Float accumulation in a merge path outside the canonical helpers.
+    FloatAccumOrder,
+    /// Checkpoint envelope type drift without a `SCHEMA_VERSION` bump.
+    CheckpointSchema,
     /// `unsafe` outside the (empty) allowlist.
     UnsafeCode,
     /// A problem with a pragma itself (missing reason, unknown rule, stale).
@@ -119,6 +177,9 @@ impl Rule {
         Rule::AmbientRng,
         Rule::EnvRead,
         Rule::ParallelMetrics,
+        Rule::PanicInShard,
+        Rule::FloatAccumOrder,
+        Rule::CheckpointSchema,
         Rule::UnsafeCode,
         Rule::Pragma,
     ];
@@ -131,11 +192,115 @@ impl Rule {
             Rule::AmbientRng => "ambient-rng",
             Rule::EnvRead => "env-read",
             Rule::ParallelMetrics => "parallel-metrics",
+            Rule::PanicInShard => "panic-in-shard",
+            Rule::FloatAccumOrder => "float-accum-order",
+            Rule::CheckpointSchema => "checkpoint-schema",
             Rule::UnsafeCode => "unsafe-code",
             Rule::Pragma => "pragma",
         }
     }
 }
+
+/// One `--explain` entry; the same table feeds DESIGN.md §6.
+#[derive(Debug)]
+pub struct RuleDoc {
+    /// The rule.
+    pub rule: Rule,
+    /// Why the rule exists (ties back to the determinism contract).
+    pub rationale: &'static str,
+    /// Where it applies.
+    pub scope: &'static str,
+    /// A pragma example with the mandatory reason.
+    pub pragma: &'static str,
+}
+
+/// Rationale / scope / pragma example for every rule.
+pub const EXPLANATIONS: &[RuleDoc] = &[
+    RuleDoc {
+        rule: Rule::NondetIter,
+        rationale: "Hash-container iteration order varies across runs and platforms; any \
+                    order-observing loop in digest code can change the golden digest.",
+        scope: "src of the digest crates (sim, aas, detect, intervene, analysis, core, sweep), \
+                outside tests; also transitively from the shard paths.",
+        pragma: "// footsteps-lint: allow(nondet-iter) — feeds an order-insensitive sum",
+    },
+    RuleDoc {
+        rule: Rule::WallClock,
+        rationale: "Instant/SystemTime outside the observability crates lets timing leak into \
+                    results; all timing flows through footsteps_obs spans/Stopwatch.",
+        scope: "every crate except obs and bench (plus sweep's manifest stamps); transitively \
+                from the shard paths.",
+        pragma: "// footsteps-lint: allow(wall-clock) — log stamp, never feeds a digest",
+    },
+    RuleDoc {
+        rule: Rule::AmbientRng,
+        rationale: "thread_rng/from_entropy draw from process state; every stream must derive \
+                    from the scenario seed via sim::rng so reruns replay bit-for-bit.",
+        scope: "everywhere except crates/sim/src/rng.rs (raw seed_from_u64 allowed in tests); \
+                transitively from the shard paths.",
+        pragma: "// footsteps-lint: allow(ambient-rng) — test-only fixture pin",
+    },
+    RuleDoc {
+        rule: Rule::EnvRead,
+        rationale: "env::var makes behaviour depend on ambient process state; reads are \
+                    confined to the FOOTSTEPS_* entry points.",
+        scope: "src outside crates/obs, core::scenario, and the bench harness; transitively \
+                from the shard paths.",
+        pragma: "// footsteps-lint: allow(env-read) — documented FOOTSTEPS_* entry point",
+    },
+    RuleDoc {
+        rule: Rule::ParallelMetrics,
+        rationale: "Metrics/timings recording inside the parallel phases would make snapshots \
+                    depend on thread interleaving; recording is serial-only (callers record \
+                    around the parallel regions).",
+        scope: "bodies of the plan/route/apply shard functions and plan_parallel argument \
+                lists in digest-crate src, including everything they reach through the call \
+                graph.",
+        pragma: "// footsteps-lint: allow(parallel-metrics via log_outcome) — counter merged serially after join",
+    },
+    RuleDoc {
+        rule: Rule::PanicInShard,
+        rationale: "A panic inside std::thread::scope poisons the whole scope and aborts the \
+                    run mid-sweep; shard paths must return errors instead. Indexing is exempt \
+                    (bounds are invariants); PANIC_FREE_FNS lists vetted helpers.",
+        scope: "unwrap/expect/panic!-family sites in, or reachable from, the shard functions \
+                in digest-crate src.",
+        pragma: "// footsteps-lint: allow(panic-in-shard) — join() surfaces worker panics, by design",
+    },
+    RuleDoc {
+        rule: Rule::FloatAccumOrder,
+        rationale: "Float addition is not associative: shard-merge order would change digests \
+                    across thread counts. All float accumulation in merge paths goes through \
+                    the canonical-order helpers in analysis::stats.",
+        scope: "merge/merge_inbound/apply_delta/apply_deposits_sharded in digest-crate and obs \
+                src, and everything they reach, except crates/analysis/src/stats.rs.",
+        pragma: "// footsteps-lint: allow(float-accum-order) — single-shard path, order fixed",
+    },
+    RuleDoc {
+        rule: Rule::CheckpointSchema,
+        rationale: "Sweep resume deserializes committed checkpoints; a silent field change \
+                    makes old checkpoints mis-resume. Structural digests of every Deserialize \
+                    type reachable from the envelope are pinned in lint-schema.lock and may \
+                    only change together with a SCHEMA_VERSION bump.",
+        scope: "every #[derive(Deserialize)] type reachable from crates/sweep/src/checkpoint.rs; \
+                regenerate the lock with --schema-write.",
+        pragma: "// footsteps-lint: allow(checkpoint-schema) — migration shim, version bumped next PR",
+    },
+    RuleDoc {
+        rule: Rule::UnsafeCode,
+        rationale: "The workspace is #![forbid(unsafe_code)]; the lint is the belt to that \
+                    braces for files the attribute does not cover yet.",
+        scope: "every scanned file (the allowlist is empty).",
+        pragma: "// footsteps-lint: allow(unsafe-code) — vetted FFI shim",
+    },
+    RuleDoc {
+        rule: Rule::Pragma,
+        rationale: "Pragmas are the in-source audit trail; reason-less, malformed, or stale \
+                    annotations would rot into silent blanket waivers.",
+        scope: "every footsteps-lint pragma comment.",
+        pragma: "(not suppressible — fix the pragma instead)",
+    },
+];
 
 /// Pragma situation of a finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -166,6 +331,10 @@ pub struct Finding {
     pub snippet: String,
     /// Human-readable explanation.
     pub message: String,
+    /// For transitive findings, the call chain from the shard root to the
+    /// seed (`["apply_shard", "log_outcome", "Instant::now"]`); empty for
+    /// lexical findings.
+    pub chain: Vec<String>,
     /// Pragma situation.
     pub pragma: PragmaStatus,
 }
@@ -184,7 +353,9 @@ enum Decl {
     Hash,
     /// `BTreeMap` / `BTreeSet`: iteration order is deterministic.
     Btree,
-    /// Any other concrete (CamelCase) type: known not-a-hash-container.
+    /// `f32` / `f64`: accumulation order changes the result.
+    Float,
+    /// Any other concrete type: known not-a-hash, known not-a-float.
     Other,
 }
 
@@ -192,64 +363,35 @@ fn container_class(ty: &str) -> Option<Decl> {
     match ty {
         "HashMap" | "HashSet" => Some(Decl::Hash),
         "BTreeMap" | "BTreeSet" => Some(Decl::Btree),
+        "f32" | "f64" => Some(Decl::Float),
         _ => None,
     }
 }
 
-/// Hash beats btree beats other when one name is declared several ways in
-/// the same file (conservative: the iteration gets flagged).
+/// Hash beats btree beats float beats other when one name is declared
+/// several ways in the same file (conservative: the use gets flagged).
 fn decl_rank(d: Decl) -> u8 {
     match d {
-        Decl::Hash => 2,
-        Decl::Btree => 1,
+        Decl::Hash => 3,
+        Decl::Btree => 2,
+        Decl::Float => 1,
         Decl::Other => 0,
     }
 }
 
-/// Resolve the type identifier that follows a declaration `:`: skip
-/// `&`/`mut`/lifetime noise, then follow the path
-/// (`std::collections::HashMap<..>`) to its final segment before any
-/// generics.
-fn type_after_colon(tokens: &[Token], colon: usize) -> Option<&Token> {
-    let mut j = colon + 1;
-    while tokens
-        .get(j)
-        .is_some_and(|t| t.is_punct("&") || t.is_ident("mut") || t.kind == TokenKind::Lifetime)
-    {
-        j += 1;
-    }
-    if tokens.get(j)?.kind != TokenKind::Ident {
-        return None;
-    }
-    let mut last = j;
-    while tokens.get(last + 1).is_some_and(|t| t.is_punct("::"))
-        && tokens.get(last + 2).is_some_and(|t| t.kind == TokenKind::Ident)
-    {
-        last += 2;
-    }
-    Some(&tokens[last])
-}
-
-/// Is the identifier at `i` the start of a `let [mut] name` binding?
-fn after_let(tokens: &[Token], i: usize) -> bool {
-    match i.checked_sub(1).map(|p| &tokens[p]) {
-        Some(p) if p.is_ident("let") => true,
-        Some(p) if p.is_ident("mut") => i >= 2 && tokens[i - 2].is_ident("let"),
-        _ => false,
-    }
-}
-
-/// Workspace-global table of *field* names declared with hash / btree
-/// container types: `name: HashMap<..>` at parenthesis depth zero and not
+/// Workspace-global table of *field* names declared with hash / btree /
+/// float types: `name: HashMap<..>` at parenthesis depth zero and not
 /// `let`-bound. Built over every scanned file before any file is checked,
 /// so a hash field declared in `sim` and iterated from `aas` is caught.
 /// `let` bindings and parameters are deliberately excluded — their uses are
-/// file-local and the per-file [`LocalTable`] sees them with full context.
-/// On a hash/btree collision, hash wins (conservative).
+/// file-local and the per-file local table sees them with full context.
+/// On a collision, the riskier class wins (conservative).
 #[derive(Debug, Default)]
 pub struct SymbolTable {
     hash_names: Vec<String>,
     btree_names: Vec<String>,
+    float_names: Vec<String>,
+    nonfloat_names: Vec<String>,
 }
 
 impl SymbolTable {
@@ -283,7 +425,16 @@ impl SymbolTable {
                         self.btree_names.push(t.text.clone());
                     }
                 }
-                _ => {}
+                Some(Decl::Float) => {
+                    if !self.float_names.contains(&t.text) {
+                        self.float_names.push(t.text.clone());
+                    }
+                }
+                _ => {
+                    if !self.nonfloat_names.contains(&t.text) {
+                        self.nonfloat_names.push(t.text.clone());
+                    }
+                }
             }
         }
     }
@@ -296,12 +447,17 @@ impl SymbolTable {
     fn is_btree_only(&self, name: &str) -> bool {
         self.btree_names.iter().any(|n| n == name) && !self.is_hash(name)
     }
+
+    /// Declared `f32`/`f64` somewhere and never anything else.
+    fn is_float_exclusive(&self, name: &str) -> bool {
+        self.float_names.iter().any(|n| n == name)
+            && !self.nonfloat_names.iter().any(|n| n == name)
+    }
 }
 
 /// Per-file declaration table. Records every `name: Type` declaration
-/// (field, parameter, or `let` — the type must look like a type, i.e.
-/// CamelCase, so struct-literal initialisers like `{ asns: set }` are
-/// ignored) and every `name = HashMap::new()`-shaped binding. Local
+/// (field, parameter, or `let` — concrete CamelCase types and
+/// primitives) and every `name = HashMap::new()`-shaped binding. Local
 /// declarations *shadow* the global field table: a file whose `accounts`
 /// is a `Vec` arena is not flagged just because some other crate has a
 /// `HashSet` parameter of the same name.
@@ -339,7 +495,9 @@ fn local_table(tokens: &[Token]) -> LocalTable {
             let Some(ty) = type_after_colon(tokens, i + 1) else { continue };
             match container_class(&ty.text) {
                 Some(d) => table.record(&t.text, d),
-                None if ty.text.starts_with(char::is_uppercase) => {
+                None if ty.text.starts_with(char::is_uppercase)
+                    || PRIMITIVES.contains(&ty.text.as_str()) =>
+                {
                     table.record(&t.text, Decl::Other);
                 }
                 None => {}
@@ -354,7 +512,9 @@ fn local_table(tokens: &[Token]) -> LocalTable {
                     break;
                 }
                 if let Some(d) = container_class(&ft.text) {
-                    table.record(&t.text, d);
+                    if d != Decl::Float {
+                        table.record(&t.text, d);
+                    }
                     break;
                 }
                 if (ft.is_ident("std") || ft.is_ident("collections") || ft.is_ident("alloc"))
@@ -370,58 +530,82 @@ fn local_table(tokens: &[Token]) -> LocalTable {
     table
 }
 
-/// Where a file sits in the workspace.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Section {
-    /// `crates/<k>/src` — product code.
-    Src,
-    /// `crates/<k>/{tests,examples,benches}` or the `tests/` member.
-    TestLike,
-}
-
+/// Per-file name classifier shared by the lexical rules and the effect
+/// seeding: local declarations shadow the global field table.
 #[derive(Debug)]
-struct FileClass {
-    krate: String,
-    section: Section,
+pub(crate) struct NameClassifier<'a> {
+    symbols: &'a SymbolTable,
+    locals: LocalTable,
 }
 
-fn classify(relpath: &str) -> FileClass {
-    let parts: Vec<&str> = relpath.split('/').collect();
-    match parts.as_slice() {
-        ["crates", k, "src", ..] => FileClass { krate: (*k).to_string(), section: Section::Src },
-        ["crates", k, ..] => FileClass { krate: (*k).to_string(), section: Section::TestLike },
-        _ => FileClass { krate: "tests".to_string(), section: Section::TestLike },
+impl<'a> NameClassifier<'a> {
+    pub(crate) fn new(symbols: &'a SymbolTable, tokens: &[Token]) -> Self {
+        NameClassifier { symbols, locals: local_table(tokens) }
+    }
+
+    pub(crate) fn is_hash(&self, name: &str) -> bool {
+        match self.locals.get(name) {
+            Some(Decl::Hash) => true,
+            Some(_) => false,
+            None => self.symbols.is_hash(name),
+        }
+    }
+
+    pub(crate) fn is_btree_only(&self, name: &str) -> bool {
+        match self.locals.get(name) {
+            Some(Decl::Btree) => true,
+            Some(_) => false,
+            None => self.symbols.is_btree_only(name),
+        }
+    }
+
+    pub(crate) fn is_float(&self, name: &str) -> bool {
+        match self.locals.get(name) {
+            Some(Decl::Float) => true,
+            Some(_) => false,
+            None => self.symbols.is_float_exclusive(name),
+        }
     }
 }
 
 /// A raw rule match before pragma resolution.
-struct RawMatch {
-    rule: Rule,
-    line: u32,
-    message: String,
+#[derive(Debug)]
+pub(crate) struct RawMatch {
+    pub(crate) rule: Rule,
+    pub(crate) line: u32,
+    pub(crate) message: String,
+    pub(crate) chain: Vec<String>,
 }
 
-/// Check one file. `symbols` must have been built over the whole scan set.
-pub fn check_file(relpath: &str, source: &str, symbols: &SymbolTable) -> Vec<Finding> {
-    let lexed = lex(source);
+/// The deny rule a transitively-reached effect maps to inside a shard
+/// path. `FLOAT_ACCUM` has its own root set, so it is not a shard rule.
+pub(crate) fn deny_rule(bit: u8) -> Option<Rule> {
+    match bit {
+        bits::WALL_CLOCK => Some(Rule::WallClock),
+        bits::AMBIENT_RNG => Some(Rule::AmbientRng),
+        bits::ENV_READ => Some(Rule::EnvRead),
+        bits::METRICS_WRITE => Some(Rule::ParallelMetrics),
+        bits::PANICS => Some(Rule::PanicInShard),
+        bits::ORDER_ITER => Some(Rule::NondetIter),
+        _ => None,
+    }
+}
+
+/// The rule a pragma must name to stop a *seed* from propagating.
+pub(crate) fn seed_rule(bit: u8) -> Rule {
+    deny_rule(bit).unwrap_or(Rule::FloatAccumOrder)
+}
+
+/// Lexical (per-file) rule matches. `symbols` must have been built over
+/// the whole scan set.
+pub(crate) fn lexical_matches(
+    relpath: &str,
+    lexed: &Lexed,
+    symbols: &SymbolTable,
+) -> Vec<RawMatch> {
     let class = classify(relpath);
     let tokens = &lexed.tokens;
-    let locals = local_table(tokens);
-    // Local declarations shadow the global field table.
-    let is_hash = |name: &str| -> bool {
-        match locals.get(name) {
-            Some(Decl::Hash) => true,
-            Some(_) => false,
-            None => symbols.is_hash(name),
-        }
-    };
-    let is_btree_only = |name: &str| -> bool {
-        match locals.get(name) {
-            Some(Decl::Btree) => true,
-            Some(_) => false,
-            None => symbols.is_btree_only(name),
-        }
-    };
+    let names = NameClassifier::new(symbols, tokens);
     let test_ranges = test_item_ranges(tokens);
     let in_test = |i: usize| -> bool {
         class.section == Section::TestLike
@@ -436,7 +620,7 @@ pub fn check_file(relpath: &str, source: &str, symbols: &SymbolTable) -> Vec<Fin
     let mut raw: Vec<RawMatch> = Vec::new();
     let push = |rule: Rule, line: u32, message: String, raw: &mut Vec<RawMatch>| {
         if !raw.iter().any(|m| m.rule == rule && m.line == line) {
-            raw.push(RawMatch { rule, line, message });
+            raw.push(RawMatch { rule, line, message, chain: Vec::new() });
         }
     };
 
@@ -458,7 +642,7 @@ pub fn check_file(relpath: &str, source: &str, symbols: &SymbolTable) -> Vec<Fin
                 .filter(|t| t.kind == TokenKind::Ident)
                 .map(|t| t.text.as_str());
             if ORDER_METHODS_ANY_RECEIVER.contains(&m) {
-                let exempt = receiver.is_some_and(&is_btree_only);
+                let exempt = receiver.is_some_and(|r| names.is_btree_only(r));
                 if !exempt {
                     push(
                         Rule::NondetIter,
@@ -470,7 +654,7 @@ pub fn check_file(relpath: &str, source: &str, symbols: &SymbolTable) -> Vec<Fin
                 }
             } else if ORDER_METHODS_KNOWN_RECEIVER.contains(&m) {
                 if let Some(r) = receiver {
-                    if is_hash(r) {
+                    if names.is_hash(r) {
                         push(
                             Rule::NondetIter,
                             tokens[i + 1].line,
@@ -483,7 +667,9 @@ pub fn check_file(relpath: &str, source: &str, symbols: &SymbolTable) -> Vec<Fin
         }
         // `for … in <plain path ending in a hash-typed name> {`.
         if tokens[i].is_ident("for") {
-            if let Some((line, name)) = for_in_hash_target(tokens, i, &is_hash) {
+            if let Some((line, name)) =
+                for_in_hash_target(tokens, i, &|n| names.is_hash(n))
+            {
                 push(
                     Rule::NondetIter,
                     line,
@@ -603,17 +789,166 @@ pub fn check_file(relpath: &str, source: &str, symbols: &SymbolTable) -> Vec<Fin
         }
     }
 
-    resolve_pragmas(relpath, source, &lexed, raw)
+    raw
+}
+
+/// Interprocedural matches: transitive effect reach from the shard roots,
+/// own-body panic sites in shard roots, and float accumulation in the
+/// merge paths. Returns `(file index, match)` pairs.
+pub(crate) fn graph_matches(
+    graph: &CallGraph,
+    table: &EffectTable,
+    refs: &[(&str, &Lexed)],
+) -> Vec<(usize, RawMatch)> {
+    let relpaths: Vec<&str> = refs.iter().map(|(rel, _)| *rel).collect();
+    let mut out: Vec<(usize, RawMatch)> = Vec::new();
+    for (id, f) in graph.fns.iter().enumerate() {
+        let rel = relpaths[f.file];
+        let class = classify(rel);
+        let tokens = &refs[f.file].1.tokens;
+        let digest_src =
+            DIGEST_CRATES.contains(&class.krate.as_str()) && class.section == Section::Src;
+
+        // Shard regions owned by this function: its own body when it is a
+        // shard function, plus any `plan_parallel(...)` argument lists
+        // (which hold the per-item closures).
+        let mut regions: Vec<(usize, usize)> = Vec::new();
+        if digest_src {
+            if let Some(body) = f.body {
+                if PLAN_FNS.contains(&f.name.as_str()) {
+                    regions.push(body);
+                }
+                for i in (body.0 + 1)..body.1 {
+                    if (tokens[i].is_ident("plan_parallel")
+                        || tokens[i].is_ident("plan_parallel_timed"))
+                        && tokens.get(i + 1).is_some_and(|n| n.is_punct("("))
+                    {
+                        if let Some(end) = matching(tokens, i + 1, "(", ")") {
+                            regions.push((i + 1, end));
+                        }
+                    }
+                }
+            }
+        }
+        let in_region =
+            |at: usize| regions.iter().any(|&(s, e)| at > s && at < e);
+
+        if !regions.is_empty() {
+            // Transitive reach through resolved call edges.
+            for site in &graph.calls[id] {
+                if !in_region(site.at) {
+                    continue;
+                }
+                let Resolution::Resolved(cands) = &site.resolution else { continue };
+                let mut union = Effects::default();
+                for &c in cands {
+                    union = union.union(table.effects[c]);
+                }
+                for bit in union.iter() {
+                    let Some(rule) = deny_rule(bit) else { continue };
+                    let &c = cands
+                        .iter()
+                        .find(|&&c| table.effects[c].has(bit))
+                        .expect("bit came from the union");
+                    let mut chain = vec![f.display(), site.label.clone()];
+                    chain.extend(table.chain(graph, c, bit));
+                    let message = format!(
+                        "shard path reaches {} via {}",
+                        Effects::name(bit),
+                        chain.join(" → ")
+                    );
+                    out.push((f.file, RawMatch { rule, line: site.line, message, chain }));
+                }
+            }
+            // Own-body panic sites: `panic-in-shard` is purely graph-based,
+            // so depth-0 seeds are reported here (the other effects'
+            // depth-0 sites belong to the lexical rules).
+            if !table.barred(graph, &relpaths, id, bits::PANICS) {
+                for s in &table.seeds[id] {
+                    if s.bit != bits::PANICS || !in_region(s.at) {
+                        continue;
+                    }
+                    let chain = vec![f.display(), s.desc.clone()];
+                    out.push((
+                        f.file,
+                        RawMatch {
+                            rule: Rule::PanicInShard,
+                            line: s.line,
+                            message: format!(
+                                "{} in a scoped parallel worker path ({}): a panic poisons the \
+                                 whole std::thread::scope",
+                                s.desc,
+                                chain.join(" → ")
+                            ),
+                            chain,
+                        },
+                    ));
+                }
+            }
+        }
+
+        // --- float-accum-order ---------------------------------------
+        let float_scope = (DIGEST_CRATES.contains(&class.krate.as_str())
+            || class.krate == "obs")
+            && class.section == Section::Src;
+        if float_scope
+            && FLOAT_MERGE_FNS.contains(&f.name.as_str())
+            && !CANONICAL_MERGE_FILES.contains(&rel)
+        {
+            for s in &table.seeds[id] {
+                if s.bit != bits::FLOAT_ACCUM {
+                    continue;
+                }
+                let chain = vec![f.display(), s.desc.clone()];
+                out.push((
+                    f.file,
+                    RawMatch {
+                        rule: Rule::FloatAccumOrder,
+                        line: s.line,
+                        message: format!(
+                            "{} in merge path `{}`: float accumulation outside the \
+                             canonical-order helpers (analysis::stats) is order-sensitive",
+                            s.desc,
+                            f.display()
+                        ),
+                        chain,
+                    },
+                ));
+            }
+            for site in &graph.calls[id] {
+                let Resolution::Resolved(cands) = &site.resolution else { continue };
+                let Some(&c) =
+                    cands.iter().find(|&&c| table.effects[c].has(bits::FLOAT_ACCUM))
+                else {
+                    continue;
+                };
+                let mut chain = vec![f.display(), site.label.clone()];
+                chain.extend(table.chain(graph, c, bits::FLOAT_ACCUM));
+                out.push((
+                    f.file,
+                    RawMatch {
+                        rule: Rule::FloatAccumOrder,
+                        line: site.line,
+                        message: format!(
+                            "merge path reaches order-sensitive float accumulation via {}",
+                            chain.join(" → ")
+                        ),
+                        chain,
+                    },
+                ));
+            }
+        }
+    }
+    out
 }
 
 /// Apply pragmas to raw matches and report pragma problems.
-fn resolve_pragmas(
+pub(crate) fn resolve_pragmas(
     relpath: &str,
     source: &str,
-    lexed: &Lexed,
+    pragmas: &[Pragma],
     raw: Vec<RawMatch>,
 ) -> Vec<Finding> {
-    let pragmas: Vec<Pragma> = pragma::collect(&lexed.comments);
     let mut used = vec![false; pragmas.len()];
     let snippet = |line: u32| -> String {
         source
@@ -625,13 +960,29 @@ fn resolve_pragmas(
     };
 
     let mut out: Vec<Finding> = Vec::new();
+    let mut seen: Vec<(Rule, u32)> = Vec::new();
     for m in raw {
+        if seen.contains(&(m.rule, m.line)) {
+            continue;
+        }
+        seen.push((m.rule, m.line));
         let mut status = PragmaStatus::None;
         for (pi, p) in pragmas.iter().enumerate() {
             if p.covers != m.line || p.error.is_some() {
                 continue;
             }
-            if !p.rules.iter().any(|r| r == m.rule.name()) {
+            let applies = p.rules.iter().any(|spec| {
+                spec.rule == m.rule.name()
+                    && match &spec.via {
+                        None => true,
+                        Some(via) => m.chain.iter().any(|link| {
+                            link == via
+                                || link.ends_with(&format!("::{via}"))
+                                || link.starts_with(&format!("{via}::"))
+                        }),
+                    }
+            });
+            if !applies {
                 continue;
             }
             match &p.reason {
@@ -655,6 +1006,7 @@ fn resolve_pragmas(
             line: m.line,
             snippet: snippet(m.line),
             message: m.message,
+            chain: m.chain,
             pragma: status,
         });
     }
@@ -682,84 +1034,13 @@ fn resolve_pragmas(
             line: p.line,
             snippet: snippet(p.line),
             message,
+            chain: Vec::new(),
             pragma: status,
         });
     }
 
     out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
     out
-}
-
-/// Token-index ranges of items marked `#[test]` / `#[cfg(test)]` (and any
-/// `cfg` attribute mentioning `test`, e.g. `cfg(all(test, unix))`).
-fn test_item_ranges(tokens: &[Token]) -> Vec<(usize, usize)> {
-    let mut out = Vec::new();
-    let mut i = 0usize;
-    while i < tokens.len() {
-        if !(tokens[i].is_punct("#") && i + 1 < tokens.len() && tokens[i + 1].is_punct("[")) {
-            i += 1;
-            continue;
-        }
-        let attr_start = i;
-        let Some(attr_end) = matching(tokens, i + 1, "[", "]") else {
-            break;
-        };
-        let attr = &tokens[i + 2..attr_end];
-        let is_test_attr = match attr.first() {
-            Some(t) if t.is_ident("test") => attr.len() == 1,
-            Some(t) if t.is_ident("cfg") => attr.iter().any(|t| t.is_ident("test")),
-            _ => false,
-        };
-        if !is_test_attr {
-            i = attr_end + 1;
-            continue;
-        }
-        // Skip any further attributes, then span the annotated item.
-        let mut j = attr_end + 1;
-        while j + 1 < tokens.len() && tokens[j].is_punct("#") && tokens[j + 1].is_punct("[") {
-            match matching(tokens, j + 1, "[", "]") {
-                Some(e) => j = e + 1,
-                None => break,
-            }
-        }
-        let mut depth = 0i32;
-        let mut end = tokens.len().saturating_sub(1);
-        while j < tokens.len() {
-            let t = &tokens[j];
-            if t.is_punct("(") || t.is_punct("[") {
-                depth += 1;
-            } else if t.is_punct(")") || t.is_punct("]") {
-                depth -= 1;
-            } else if t.is_punct("{") && depth == 0 {
-                end = matching(tokens, j, "{", "}").unwrap_or(end);
-                break;
-            } else if t.is_punct(";") && depth == 0 {
-                end = j;
-                break;
-            }
-            j += 1;
-        }
-        out.push((attr_start, end));
-        i = end + 1;
-    }
-    out
-}
-
-/// Index of the token matching the opener at `open_at` (which must hold
-/// `open`), honouring nesting.
-fn matching(tokens: &[Token], open_at: usize, open: &str, close: &str) -> Option<usize> {
-    let mut depth = 0i32;
-    for (i, t) in tokens.iter().enumerate().skip(open_at) {
-        if t.is_punct(open) {
-            depth += 1;
-        } else if t.is_punct(close) {
-            depth -= 1;
-            if depth == 0 {
-                return Some(i);
-            }
-        }
-    }
-    None
 }
 
 /// Token ranges of the parallel decision-phase shard paths: bodies of
@@ -808,7 +1089,7 @@ fn plan_regions(tokens: &[Token]) -> Vec<(usize, usize)> {
 /// expression is a plain path (`[&][mut] a.b::c.d`) whose final identifier
 /// is hash-typed. Expressions containing calls, literals, or indexing are
 /// left to the method-based detection.
-fn for_in_hash_target(
+pub(crate) fn for_in_hash_target(
     tokens: &[Token],
     at: usize,
     is_hash: &dyn Fn(&str) -> bool,

@@ -1,0 +1,357 @@
+//! The `checkpoint-schema` rule: structural digests of every
+//! `#[derive(Deserialize)]` type reachable from the sweep checkpoint
+//! envelope, pinned in a committed `lint-schema.lock`.
+//!
+//! `footsteps-sweep` resumes multi-hour runs from phase-boundary
+//! checkpoints; a silently changed field (renamed, reordered, retyped)
+//! makes an old checkpoint deserialize into different semantics — or not
+//! at all — without any test noticing until a resume is attempted. The
+//! rule makes that break loud at lint time: each reachable `Deserialize`
+//! type is digested over its token stream (field names, order, types,
+//! `#[serde]` attributes — everything after the derive attribute through
+//! the end of the item), and the digests live in `lint-schema.lock` at
+//! the workspace root. A digest change is only legal together with a
+//! `SCHEMA_VERSION` bump in `crates/sweep/src/checkpoint.rs` (and a lock
+//! regeneration via `--schema-write`); the version bump is what makes
+//! old checkpoints fail fast with `SweepError::VersionMismatch` instead
+//! of resuming wrongly.
+
+use crate::graph::{classify, matching, test_item_ranges, Section};
+use crate::lexer::Lexed;
+use crate::lexer::{Token, TokenKind};
+use crate::rules::{RawMatch, Rule};
+use std::collections::BTreeMap;
+
+/// The committed lock file at the workspace root.
+pub const LOCK_FILE: &str = "lint-schema.lock";
+
+/// The file defining the checkpoint envelope and `SCHEMA_VERSION`.
+pub const CHECKPOINT_FILE: &str = "crates/sweep/src/checkpoint.rs";
+
+/// The `lint-schema.lock` situation for one lint run.
+#[derive(Debug, Clone)]
+pub enum LockState {
+    /// Schema checking disabled (in-memory fixture runs).
+    Skip,
+    /// Workspace run, lock file missing — an error once a checkpoint
+    /// envelope exists.
+    Absent,
+    /// Workspace run with the lock file's contents.
+    Present(String),
+}
+
+/// One digested `#[derive(Deserialize)]` type.
+#[derive(Debug)]
+pub struct TypeSchema {
+    /// Type name.
+    pub name: String,
+    /// Index of the defining file in the scan set.
+    pub file: usize,
+    /// 1-based line of the `struct`/`enum` keyword.
+    pub line: u32,
+    /// FNV-1a digest of the structural token stream.
+    pub digest: u64,
+    /// Identifiers referenced in the body (for envelope reachability).
+    refs: Vec<String>,
+}
+
+/// The current schema surface: version constant + reachable type digests.
+#[derive(Debug)]
+pub struct SchemaSnapshot {
+    /// `SCHEMA_VERSION` parsed from the checkpoint file (0 if absent).
+    pub schema_version: u32,
+    /// 1-based line of the `SCHEMA_VERSION` constant.
+    pub version_line: u32,
+    /// Reachable types, sorted by name.
+    pub types: Vec<TypeSchema>,
+    /// Scan-set index of [`CHECKPOINT_FILE`].
+    pub checkpoint_file: usize,
+}
+
+/// 64-bit FNV-1a (same construction as `footsteps-sweep` uses for its
+/// scenario hash; duplicated because the lint stays dependency-free).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Extract the current schema snapshot, or `None` when the scan set has
+/// no checkpoint file (fixture corpora).
+pub fn snapshot(refs: &[(&str, &Lexed)]) -> Option<SchemaSnapshot> {
+    let checkpoint_file = refs.iter().position(|(rel, _)| *rel == CHECKPOINT_FILE)?;
+    let ck_tokens = &refs[checkpoint_file].1.tokens;
+
+    // `pub const SCHEMA_VERSION: u32 = N;`
+    let (schema_version, version_line) = ck_tokens
+        .iter()
+        .enumerate()
+        .find(|(_, t)| t.is_ident("SCHEMA_VERSION"))
+        .and_then(|(i, t)| {
+            let num = ck_tokens[i..].iter().take(8).find(|n| n.kind == TokenKind::Number)?;
+            Some((num.text.parse::<u32>().ok()?, t.line))
+        })
+        .unwrap_or((0, 1));
+
+    // All Deserialize types in product code, by name.
+    let mut all: BTreeMap<String, TypeSchema> = BTreeMap::new();
+    for (fi, (rel, lexed)) in refs.iter().enumerate() {
+        if classify(rel).section != Section::Src {
+            continue;
+        }
+        for ty in deserialize_types(&lexed.tokens, fi) {
+            all.entry(ty.name.clone()).or_insert(ty);
+        }
+    }
+
+    // Reachability: roots are the Deserialize types the checkpoint file
+    // mentions by name; closure over body-referenced type names.
+    let mut reach: Vec<String> = Vec::new();
+    let mut queue: Vec<String> = all
+        .keys()
+        .filter(|name| ck_tokens.iter().any(|t| t.is_ident(name)))
+        .cloned()
+        .collect();
+    while let Some(name) = queue.pop() {
+        if reach.contains(&name) {
+            continue;
+        }
+        reach.push(name.clone());
+        for r in &all[&name].refs {
+            if all.contains_key(r) && !reach.contains(r) {
+                queue.push(r.clone());
+            }
+        }
+    }
+    reach.sort();
+
+    let types = reach.into_iter().filter_map(|n| all.remove(&n)).collect();
+    Some(SchemaSnapshot { schema_version, version_line, types, checkpoint_file })
+}
+
+/// Digest every `#[derive(.. Deserialize ..)]` struct/enum in one file's
+/// non-test tokens.
+fn deserialize_types(tokens: &[Token], file: usize) -> Vec<TypeSchema> {
+    let test_ranges = test_item_ranges(tokens);
+    let in_test = |i: usize| test_ranges.iter().any(|&(s, e)| i >= s && i <= e);
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if !(tokens[i].is_punct("#") && tokens.get(i + 1).is_some_and(|t| t.is_punct("[")))
+            || in_test(i)
+        {
+            i += 1;
+            continue;
+        }
+        let Some(attr_end) = matching(tokens, i + 1, "[", "]") else { break };
+        let attr = &tokens[i + 2..attr_end];
+        let is_derive_deser = attr.first().is_some_and(|t| t.is_ident("derive"))
+            && attr.iter().any(|t| t.is_ident("Deserialize"));
+        if !is_derive_deser {
+            i = attr_end + 1;
+            continue;
+        }
+        // The structural span: everything after the derive attribute
+        // (further attributes like `#[serde(...)]`, visibility, the item
+        // keyword, name, generics, body) through the item's end.
+        let start = attr_end + 1;
+        let mut j = start;
+        let mut name = None;
+        let mut line = tokens[i].line;
+        while j < tokens.len() {
+            let t = &tokens[j];
+            if t.is_punct("#") && tokens.get(j + 1).is_some_and(|n| n.is_punct("[")) {
+                match matching(tokens, j + 1, "[", "]") {
+                    Some(e) => {
+                        j = e + 1;
+                        continue;
+                    }
+                    None => break,
+                }
+            }
+            if t.is_ident("struct") || t.is_ident("enum") {
+                line = t.line;
+                name = tokens.get(j + 1).filter(|n| n.kind == TokenKind::Ident).map(|n| n.text.clone());
+                break;
+            }
+            if !(t.is_ident("pub")
+                || t.is_punct("(")
+                || t.is_punct(")")
+                || t.is_ident("crate")
+                || t.is_ident("super"))
+            {
+                break; // not a type item (e.g. derive on something else)
+            }
+            j += 1;
+        }
+        let Some(name) = name else {
+            i = attr_end + 1;
+            continue;
+        };
+        // Item end: matching `}` of the first top-level `{`, or `;` for
+        // unit/tuple structs.
+        let mut depth = 0i32;
+        let mut k = j + 2;
+        let mut end = tokens.len().saturating_sub(1);
+        while k < tokens.len() {
+            let t = &tokens[k];
+            if t.is_punct("(") || t.is_punct("[") {
+                depth += 1;
+            } else if t.is_punct(")") || t.is_punct("]") {
+                depth -= 1;
+            } else if t.is_punct("{") && depth == 0 {
+                end = matching(tokens, k, "{", "}").unwrap_or(end);
+                break;
+            } else if t.is_punct(";") && depth == 0 {
+                end = k;
+                break;
+            }
+            k += 1;
+        }
+        let span = &tokens[start..=end.min(tokens.len() - 1)];
+        let shape: String =
+            span.iter().map(|t| t.text.as_str()).collect::<Vec<_>>().join(" ");
+        let refs = span
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident && t.text.starts_with(char::is_uppercase))
+            .map(|t| t.text.clone())
+            .collect();
+        out.push(TypeSchema { name, file, line, digest: fnv1a(shape.as_bytes()), refs });
+        i = end + 1;
+    }
+    out
+}
+
+/// Render the lock file for the current snapshot.
+pub fn render_lock(snap: &SchemaSnapshot) -> String {
+    let mut out = String::from(
+        "# footsteps-lint checkpoint-schema lock (DESIGN.md §6).\n\
+         # Regenerate with `footsteps-lint --schema-write` after bumping\n\
+         # SCHEMA_VERSION in crates/sweep/src/checkpoint.rs.\n",
+    );
+    out.push_str("version 1\n");
+    out.push_str(&format!("schema_version {}\n", snap.schema_version));
+    for t in &snap.types {
+        out.push_str(&format!("type {} 0x{:016x}\n", t.name, t.digest));
+    }
+    out
+}
+
+/// Parsed lock file: recorded schema_version + per-type digests.
+struct ParsedLock {
+    schema_version: Option<u32>,
+    types: BTreeMap<String, u64>,
+}
+
+fn parse_lock(text: &str) -> ParsedLock {
+    let mut out = ParsedLock { schema_version: None, types: BTreeMap::new() };
+    for l in text.lines() {
+        let l = l.trim();
+        if let Some(rest) = l.strip_prefix("schema_version ") {
+            out.schema_version = rest.trim().parse().ok();
+        } else if let Some(rest) = l.strip_prefix("type ") {
+            let mut parts = rest.split_whitespace();
+            if let (Some(name), Some(hex)) = (parts.next(), parts.next()) {
+                if let Ok(d) = u64::from_str_radix(hex.trim_start_matches("0x"), 16) {
+                    out.types.insert(name.to_string(), d);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Check the current snapshot against the lock, producing raw matches
+/// (attached to the drifting type's file, or the checkpoint file for
+/// global problems).
+pub(crate) fn check(refs: &[(&str, &Lexed)], lock: &LockState) -> Vec<(usize, RawMatch)> {
+    if matches!(lock, LockState::Skip) {
+        return Vec::new();
+    }
+    let Some(snap) = snapshot(refs) else { return Vec::new() };
+    let mut out = Vec::new();
+    let at_ck = |line: u32, message: String, out: &mut Vec<(usize, RawMatch)>| {
+        out.push((
+            snap.checkpoint_file,
+            RawMatch { rule: Rule::CheckpointSchema, line, message, chain: Vec::new() },
+        ));
+    };
+    let text = match lock {
+        LockState::Present(t) => t,
+        _ => {
+            at_ck(
+                snap.version_line,
+                format!(
+                    "{LOCK_FILE} is missing: the checkpoint envelope's Deserialize types are \
+                     unpinned; run `footsteps-lint --schema-write` and commit the lock"
+                ),
+                &mut out,
+            );
+            return out;
+        }
+    };
+    let parsed = parse_lock(text);
+    if parsed.schema_version != Some(snap.schema_version) {
+        at_ck(
+            snap.version_line,
+            format!(
+                "SCHEMA_VERSION is {} but {LOCK_FILE} records {}; regenerate the lock with \
+                 `footsteps-lint --schema-write`",
+                snap.schema_version,
+                parsed
+                    .schema_version
+                    .map_or("nothing".to_string(), |v| v.to_string())
+            ),
+            &mut out,
+        );
+        return out;
+    }
+    for t in &snap.types {
+        match parsed.types.get(&t.name) {
+            Some(&locked) if locked == t.digest => {}
+            Some(&locked) => out.push((
+                t.file,
+                RawMatch {
+                    rule: Rule::CheckpointSchema,
+                    line: t.line,
+                    message: format!(
+                        "checkpoint schema drift: `{}` digests 0x{:016x} but {LOCK_FILE} pins \
+                         0x{locked:016x} — old checkpoints would mis-resume; bump SCHEMA_VERSION \
+                         in {CHECKPOINT_FILE} and run `footsteps-lint --schema-write`",
+                        t.name, t.digest
+                    ),
+                    chain: Vec::new(),
+                },
+            )),
+            None => out.push((
+                t.file,
+                RawMatch {
+                    rule: Rule::CheckpointSchema,
+                    line: t.line,
+                    message: format!(
+                        "`{}` is reachable from the checkpoint envelope but not pinned in \
+                         {LOCK_FILE}; run `footsteps-lint --schema-write`",
+                        t.name
+                    ),
+                    chain: Vec::new(),
+                },
+            )),
+        }
+    }
+    for name in parsed.types.keys() {
+        if !snap.types.iter().any(|t| &t.name == name) {
+            at_ck(
+                snap.version_line,
+                format!(
+                    "`{name}` is pinned in {LOCK_FILE} but no longer reachable from the \
+                     checkpoint envelope; run `footsteps-lint --schema-write`"
+                ),
+                &mut out,
+            );
+        }
+    }
+    out
+}

@@ -63,7 +63,6 @@ fn apply_world(n: u32, threshold: u32) -> (Platform, Vec<MediaId>) {
     reg.register("res-us", Country::Us, AsnKind::Residential, 100_000);
     reg.register("host-a", Country::Us, AsnKind::Hosting, 1_000);
     reg.register("host-b", Country::Us, AsnKind::Hosting, 1_000);
-    // footsteps-lint: allow(ambient-rng) — test-only world pin; apply paths draw nothing from it
     let mut p = Platform::new(reg, PlatformConfig::default(), SmallRng::seed_from_u64(0xF00D));
     for _ in 0..n {
         p.accounts.create(

@@ -14,8 +14,24 @@ cargo build --release
 
 echo "== lint (footsteps-lint determinism & safety pass) =="
 # Machine-checks the determinism contract (DESIGN.md §6); findings are
-# written as JSON for post-mortem even when the gate passes.
-cargo run --release -q -p footsteps-lint -- --json-out /tmp/footsteps_lint.ci.json
+# written as JSON for post-mortem even when the gate passes, and the
+# call-graph coverage stats are printed so resolution regressions are
+# visible in the CI log. The interprocedural pass is also self-benched:
+# the whole workspace analysis must stay under 30 s wall time or the
+# lint has regressed from "free in CI" to "a build phase".
+LINT_BUDGET_SECS=30
+lint_start=$(date +%s)
+cargo run --release -q -p footsteps-lint -- --stats --json-out /tmp/footsteps_lint.ci.json
+lint_elapsed=$(( $(date +%s) - lint_start ))
+echo "lint wall time: ${lint_elapsed}s (budget ${LINT_BUDGET_SECS}s)"
+if [ "$lint_elapsed" -gt "$LINT_BUDGET_SECS" ]; then
+  echo "lint gate: FAIL — interprocedural pass took ${lint_elapsed}s > ${LINT_BUDGET_SECS}s" >&2
+  exit 1
+fi
+
+# The committed checkpoint-schema lock must match the live Deserialize
+# types — a stale lint-schema.lock would let schema drift through.
+cargo run --release -q -p footsteps-lint -- --schema-check
 
 echo "== test =="
 cargo test -q
