@@ -31,6 +31,7 @@ pub mod engine;
 pub mod ledger;
 pub mod presets;
 pub mod reciprocity;
+pub mod stats;
 pub mod targeting;
 
 pub use adapt::{AdaptationConfig, ControllerAction, DayObservation, VolumeController};

@@ -33,7 +33,10 @@ pub use revenue::{
     hublaagram_revenue, hublaagram_revenue_windows, new_vs_preexisting, paid_days_beyond_trial,
     reciprocity_revenue, HublaagramRevenue, NewVsPreexisting, ReciprocityRevenueRow,
 };
-pub use stats::{mean, median, median_u32, percentile, percentiles, Ecdf, Welford};
+pub use stats::{
+    mean, median, median_u32, nearest_rank, percentile, percentile_u32, percentiles,
+    quantile_sorted_runs, Ecdf, Welford,
+};
 pub use targeting::{
     sample_baseline, sample_targets, DegreeSample, TargetingFigures,
 };

@@ -6,6 +6,14 @@
 
 use serde::{Deserialize, Serialize};
 
+// The canonical nearest-rank primitives. They are *implemented* in
+// `footsteps_aas::stats` (the common ancestor of `detect`, `analysis`
+// and `stream` in the dependency graph) and re-exported here: analysis
+// is the stats surface the rest of the workspace imports from, and
+// every float/integer quantile in the repo goes through the same rank
+// arithmetic.
+pub use footsteps_aas::stats::{nearest_rank, percentile_u32, quantile_sorted_runs};
+
 /// Mean of a slice (0 for empty).
 pub fn mean(values: &[f64]) -> f64 {
     if values.is_empty() {
@@ -23,8 +31,7 @@ pub fn percentile(values: &[f64], p: f64) -> Option<f64> {
     debug_assert!((0.0..=1.0).contains(&p));
     let mut sorted = values.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
-    let rank = ((sorted.len() as f64 * p).ceil() as usize).clamp(1, sorted.len());
-    Some(sorted[rank - 1])
+    Some(sorted[nearest_rank(sorted.len(), p) - 1])
 }
 
 /// Nearest-rank percentiles at several probes with one sort, ordered by
@@ -38,11 +45,7 @@ pub fn percentiles(values: &[f64], ps: &[f64]) -> Option<Vec<f64>> {
     sorted.sort_by(f64::total_cmp);
     Some(
         ps.iter()
-            .map(|&p| {
-                debug_assert!((0.0..=1.0).contains(&p));
-                let rank = ((sorted.len() as f64 * p).ceil() as usize).clamp(1, sorted.len());
-                sorted[rank - 1]
-            })
+            .map(|&p| sorted[nearest_rank(sorted.len(), p) - 1])
             .collect(),
     )
 }
@@ -178,9 +181,7 @@ impl Ecdf {
 
     /// The `q`-quantile (nearest rank), `q ∈ [0,1]`.
     pub fn quantile(&self, q: f64) -> u32 {
-        debug_assert!((0.0..=1.0).contains(&q));
-        let rank = ((self.sorted.len() as f64 * q).ceil() as usize).clamp(1, self.sorted.len());
-        self.sorted[rank - 1]
+        self.sorted[nearest_rank(self.sorted.len(), q) - 1]
     }
 
     /// The median observation.

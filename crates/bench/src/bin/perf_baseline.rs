@@ -5,7 +5,8 @@
 //! results digest, and the worker thread count, so engine changes can be
 //! compared against a committed number.
 //!
-//! Usage: `perf_baseline [--json] [--scenario NAME] [--threads LIST] [seed] [output-path]`
+//! Usage: `perf_baseline [--json] [--scenario NAME] [--threads LIST]
+//! [--stream LOG] [seed] [output-path]`
 //!
 //! * `--scenario smoke|scaled|paper|quick` picks the preset (default
 //!   `smoke`, the CI gate's scenario; `scaled` is the committed
@@ -14,6 +15,13 @@
 //!   thread count (overriding `FOOTSTEPS_THREADS`) and the report is a JSON
 //!   **array** with one record per thread count, so a single committed file
 //!   documents the scaling curve and proves the digest is thread-invariant.
+//! * `--stream LOG` benches the streaming detector instead: the scenario's
+//!   characterization phase runs twice with the online detector attached —
+//!   recorder off, then recorder on (writing the replayable event log to
+//!   `LOG`) — and the report is a JSON array of two `stream_detector`
+//!   records (events/sec through the detector, verdict digest). The two
+//!   digests must match; `scripts/ci.sh` replays `LOG` through
+//!   `stream-replay` and compares a third time.
 //!
 //! With `--json` the report is serialized through serde and additionally
 //! embeds the study's deterministic metrics snapshot and the wall-clock
@@ -64,6 +72,65 @@ struct PerfReport {
     /// counts, obs overhead, and the deterministic structure digest
     /// (`scripts/ci.sh` compares the digest across thread counts).
     span_tree: SpanTreeSummary,
+}
+
+/// The `--stream` report shape: one record per detector configuration
+/// (recorder off / recorder on).
+#[derive(Serialize)]
+struct StreamPerfReport {
+    bench: &'static str,
+    scenario: String,
+    seed: u64,
+    threads: usize,
+    /// Whether the run also serialized the event log to disk.
+    recorder: bool,
+    /// Day batches the detector consumed.
+    batches: u64,
+    /// Records consumed (outbound + inbound + logins + events).
+    events: u64,
+    /// Wall-clock seconds inside `OnlineDetector::ingest`.
+    detector_secs: f64,
+    events_per_sec: f64,
+    /// FNV-1a digest of the frozen verdict snapshot, hex. Must be
+    /// identical with the recorder on and off, and must match what
+    /// `stream-replay` recomputes from the recorded log.
+    verdict_digest: String,
+    /// Where the log landed, when the recorder was on.
+    log_path: Option<String>,
+}
+
+fn run_stream(scenario_name: &str, seed: u64, record_to: Option<&std::path::Path>) -> StreamPerfReport {
+    let scenario = scenario_by_name(scenario_name, seed);
+    let threads = scenario.worker_threads;
+    let mut study = Study::new(scenario);
+    study.attach_stream(record_to).expect("stream attaches");
+    study.run_characterization();
+    let outcome = study.stream.take().expect("stream outcome frozen");
+    let events_per_sec = if outcome.detector_secs > 0.0 {
+        outcome.events_processed as f64 / outcome.detector_secs
+    } else {
+        0.0
+    };
+    progress!(
+        "stream_detector[{scenario_name}, recorder {}]: {} events in {:.3}s ({:.0} events/sec)",
+        if record_to.is_some() { "on" } else { "off" },
+        outcome.events_processed,
+        outcome.detector_secs,
+        events_per_sec,
+    );
+    StreamPerfReport {
+        bench: "stream_detector",
+        scenario: scenario_name.to_string(),
+        seed,
+        threads,
+        recorder: record_to.is_some(),
+        batches: outcome.batches,
+        events: outcome.events_processed,
+        detector_secs: outcome.detector_secs,
+        events_per_sec,
+        verdict_digest: format!("0x{:016x}", outcome.verdict_digest),
+        log_path: outcome.log_path.map(|p| p.display().to_string()),
+    }
 }
 
 fn scenario_by_name(name: &str, seed: u64) -> Scenario {
@@ -135,6 +202,7 @@ fn main() {
     let mut json = false;
     let mut scenario_name = "smoke".to_string();
     let mut threads_list: Option<Vec<usize>> = None;
+    let mut stream_log: Option<String> = None;
     let mut positional = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -151,6 +219,9 @@ fn main() {
                         .collect(),
                 );
             }
+            "--stream" => {
+                stream_log = Some(args.next().expect("--stream needs a log path"));
+            }
             _ => positional.push(arg),
         }
     }
@@ -162,6 +233,25 @@ fn main() {
     let out_path = positional
         .next()
         .unwrap_or_else(|| "BENCH_daily_engine.json".to_string());
+
+    if let Some(log) = stream_log {
+        // Streaming-detector bench: recorder off, then recorder on.
+        let log = std::path::PathBuf::from(log);
+        let records = [
+            run_stream(&scenario_name, seed, None),
+            run_stream(&scenario_name, seed, Some(&log)),
+        ];
+        assert_eq!(
+            records[0].verdict_digest, records[1].verdict_digest,
+            "verdict digest must not depend on the recorder"
+        );
+        let mut body =
+            serde_json::to_string_pretty(&records[..]).expect("stream reports serialize");
+        body.push('\n');
+        std::fs::write(&out_path, &body).expect("write report");
+        progress!("wrote {out_path}");
+        return;
+    }
 
     let plain = !json && threads_list.is_none();
     let report = if let Some(threads_list) = threads_list {

@@ -9,7 +9,7 @@ use footsteps_bench::render;
 use footsteps_core::Phase;
 
 fn main() {
-    let mut study = footsteps_bench::study_to(Phase::Finished);
+    let mut study = footsteps_bench::study_to_with_stream(Phase::Finished);
     // Honour FOOTSTEPS_TRACE_OUT here too (study_to drives phases
     // directly, bypassing run_to_completion's export).
     match study.platform.obs.export_trace() {
@@ -28,7 +28,7 @@ fn main() {
     // joined sections in fixed order — stdout is byte-identical for any
     // `FOOTSTEPS_THREADS`, keeping EXPERIMENTS.md redirects reproducible.
     let study = &study;
-    let indices: Vec<usize> = (0..20).collect();
+    let indices: Vec<usize> = (0..21).collect();
     let sections = footsteps_aas::plan_parallel(
         &indices,
         study.platform.config.worker_threads,
@@ -53,6 +53,7 @@ fn main() {
             17 => render::figure07(study),
             18 => render::section51(study),
             19 => render::epilogue(study),
+            20 => render::detection_latency(study),
             _ => unreachable!("section index out of range"),
         },
     );

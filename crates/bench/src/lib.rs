@@ -37,7 +37,21 @@ pub fn scenario_from_env() -> Scenario {
 
 /// Run a study up to (and including) the given phase.
 pub fn study_to(phase: Phase) -> Study {
+    study_to_inner(phase, false)
+}
+
+/// Like [`study_to`], but attaches the streaming detector (no recorder)
+/// before the characterization phase, so the returned study carries a
+/// frozen stream outcome and can render the detection-latency section.
+pub fn study_to_with_stream(phase: Phase) -> Study {
+    study_to_inner(phase, true)
+}
+
+fn study_to_inner(phase: Phase, stream: bool) -> Study {
     let mut study = Study::new(scenario_from_env());
+    if stream {
+        study.attach_stream(None).expect("stream attaches without a recorder");
+    }
     if phase >= Phase::Characterized {
         progress!(
             "characterization: {} days …",

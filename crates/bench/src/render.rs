@@ -540,6 +540,41 @@ pub fn detection_quality(study: &Study) -> String {
     t.render()
 }
 
+/// Detection latency (DESIGN.md §8): how many days the online detector
+/// trails the batch classifier per service, with online-vs-batch
+/// precision/recall. Needs a study run with the stream attached
+/// ([`crate::study_to_with_stream`]); renders a placeholder otherwise.
+pub fn detection_latency(study: &Study) -> String {
+    let (Some(outcome), Some(report)) = (study.stream.as_ref(), study.detection_latency()) else {
+        return "Detection latency — skipped (no streaming detector attached to this study)\n"
+            .to_string();
+    };
+    let mut t = Table::new(
+        "Detection latency — online detector vs batch classifier",
+        &["Service", "Matched", "Latency (mean ± std days)", "Max", "Precision", "Recall"],
+    );
+    for row in &report.rows {
+        t.row(&[
+            row.service.name().to_string(),
+            thousands(row.matched),
+            format!("{:.2} ± {:.2}", row.mean_days, row.std_days),
+            row.max_days.to_string(),
+            pct(row.score.precision()),
+            pct(row.score.recall()),
+        ]);
+    }
+    let mut out = t.render();
+    out.push_str(&format!(
+        "  overall: {:.2} days mean latency (matched-weighted); online detector \
+         consumed {} day-batches / {} records; verdict digest 0x{:016x}\n",
+        report.overall_mean_days(),
+        outcome.batches,
+        outcome.events_processed,
+        outcome.verdict_digest,
+    ));
+    out
+}
+
 /// The observability report: deterministic counters from the study's obs
 /// registry (action mix by service, enforcement outcomes by phase, per-bin
 /// attributions, detection tallies). Byte-identical for any worker-thread

@@ -22,9 +22,11 @@ use footsteps_intervene::{EpiloguePolicy, ExperimentPlan, ExperimentPolicy};
 use footsteps_sim::background::{run_background_day, BackgroundConfig};
 use footsteps_sim::population::{synthesize, PopulationConfig, ResidentialIndex};
 use footsteps_sim::prelude::*;
+use footsteps_stream::{StreamConfig, StreamOutcome, StreamSink};
 use rand::rngs::SmallRng;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
+use std::path::Path;
 
 /// Phase boundaries of a study, in days.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -115,6 +117,12 @@ pub struct Study {
     pub campaigns: Vec<CampaignReport>,
     /// The detection pipeline, once built.
     pub pipeline: Option<DetectionPipeline>,
+    /// The streaming detection outcome, frozen at the calibration
+    /// boundary when a sink was attached via [`Study::attach_stream`].
+    /// Observability-plus-analysis state: excluded from serialization
+    /// (like the platform's policy and recorder) and from every digest.
+    #[serde(skip)]
+    pub stream: Option<StreamOutcome>,
     /// The narrow experiment plan.
     pub narrow_plan: ExperimentPlan,
     /// The broad experiment plan.
@@ -235,6 +243,7 @@ impl Study {
             ledger: PaymentLedger::new(),
             campaigns: Vec::new(),
             pipeline: None,
+            stream: None,
             narrow_plan,
             broad_plan,
             background,
@@ -354,8 +363,80 @@ impl Study {
         pipeline.record_spans(&mut self.platform.obs.timings, build_t0);
         self.platform.obs.timings.finish(build_timer);
         self.pipeline = Some(pipeline);
+        // Streaming detection (DESIGN.md §8): deliver the calibration tail
+        // to the sink (begin_day only drains strictly-before days, so the
+        // last characterization day is still pending) and detach it — the
+        // online verdicts froze at the same boundary the batch pipeline
+        // was just built on.
+        let stream_timer = self.platform.obs.timings.start("stream.freeze");
+        self.platform.drain_sink_through(self.timeline.narrow_start);
+        if let Some(result) = StreamSink::detach(&mut self.platform) {
+            let outcome = result.expect("stream sink finishes at the calibration boundary");
+            self.platform.obs.metrics.add("stream.events", outcome.events_processed);
+            self.platform.obs.metrics.add("stream.batches", outcome.batches);
+            self.platform.obs.metrics.add(
+                "stream.customers",
+                outcome
+                    .verdicts
+                    .classification
+                    .customers
+                    .values()
+                    .map(|s| s.len() as u64)
+                    .sum::<u64>(),
+            );
+            self.stream = Some(outcome);
+        }
+        self.platform.obs.timings.finish(stream_timer);
         self.platform.obs.timings.finish(timer);
         self.phase = Phase::Characterized;
+    }
+
+    /// Install the streaming detection harness (DESIGN.md §8): an online
+    /// detector fed each day's event batch as the day seals, optionally
+    /// recording the replayable event log to `record_to`. Call before
+    /// [`Study::run_characterization`]; the frozen [`StreamOutcome`]
+    /// lands in `self.stream` when that phase completes.
+    ///
+    /// Observability-only: the sink never feeds back into simulation
+    /// decisions, so the golden digest is unchanged with it installed.
+    pub fn attach_stream(
+        &mut self,
+        record_to: Option<&Path>,
+    ) -> Result<(), footsteps_stream::StreamError> {
+        assert_eq!(
+            self.phase,
+            Phase::Setup,
+            "attach the stream before characterization"
+        );
+        let (cal_start, cal_end) = self
+            .timeline
+            .calibration(self.scenario.calibration_tail_days);
+        let config = StreamConfig {
+            calibration_start: cal_start,
+            calibration_end: cal_end,
+            window_days: self.scenario.calibration_tail_days,
+        };
+        let sink = StreamSink::build(
+            &self.platform,
+            &self.framework,
+            self.scenario.seed,
+            config,
+            record_to,
+        )?;
+        self.platform.set_sink(Box::new(sink));
+        Ok(())
+    }
+
+    /// Detection latency of the online verdicts against the batch
+    /// classifier. `None` until both the stream outcome and the pipeline
+    /// exist (i.e. a sink was attached and characterization has run).
+    pub fn detection_latency(&self) -> Option<footsteps_stream::LatencyReport> {
+        let stream = self.stream.as_ref()?;
+        let pipeline = self.pipeline.as_ref()?;
+        Some(footsteps_stream::latency_report(
+            &stream.verdicts.classification,
+            &pipeline.classification,
+        ))
     }
 
     /// Run the narrow intervention (§6.3).

@@ -105,16 +105,11 @@ impl ThresholdTable {
     }
 }
 
-/// Exact percentile (nearest-rank) of a sample (sorted in place). `p` in
-/// `[0,1]`.
-pub fn percentile_u32(values: &mut [u32], p: f64) -> Option<u32> {
-    if values.is_empty() {
-        return None;
-    }
-    values.sort_unstable();
-    let rank = ((values.len() as f64 * p).ceil() as usize).clamp(1, values.len());
-    Some(values[rank - 1])
-}
+// The nearest-rank percentile used by every threshold rule below. Shared
+// with the analyses and the streaming detector so the batch and online
+// threshold paths can never drift apart (see `footsteps_aas::stats`);
+// re-exported here to keep the crate's historical API surface.
+pub use footsteps_aas::stats::percentile_u32;
 
 /// Compute the frozen threshold table for all signature ASNs over the
 /// calibration window `[start, end)`.

@@ -37,9 +37,10 @@ use crate::pragma::Pragma;
 /// Crates whose `src` feeds the golden digest: order-observing iteration
 /// over hash containers there is a correctness bug unless proven safe.
 /// `sweep` is held to the same bar — its checkpoint/resume and aggregation
-/// paths must reproduce the per-seed digests byte for byte.
+/// paths must reproduce the per-seed digests byte for byte. `stream` too:
+/// its verdict snapshot must replay byte-identically from a recorded log.
 pub const DIGEST_CRATES: &[&str] =
-    &["sim", "aas", "detect", "intervene", "analysis", "core", "sweep"];
+    &["sim", "aas", "detect", "intervene", "analysis", "core", "sweep", "stream"];
 
 /// Crates allowed to touch wall-clock (`Instant`, `SystemTime`, `elapsed`).
 /// `obs` owns the span tree and the Chrome-trace exporter; `bench` is the
@@ -48,11 +49,14 @@ pub const DIGEST_CRATES: &[&str] =
 pub const WALL_CLOCK_CRATES: &[&str] = &["obs", "bench"];
 
 /// Single files (outside [`WALL_CLOCK_CRATES`]) allowed to touch
-/// wall-clock. `sweep`'s manifest stamps job transitions with unix times;
-/// those stamps are bookkeeping for humans and never feed a digest. The
-/// sweep's per-job trace writes and ETA lines need no exemption: they use
-/// `footsteps_obs::Stopwatch` and the obs exporter.
-pub const WALL_CLOCK_FILES: &[&str] = &["crates/sweep/src/manifest.rs"];
+/// wall-clock. `sweep`'s manifest stamps job transitions with unix times,
+/// and `stream`'s event-log envelope stamps the recording time into the
+/// log header (`recorded_unix`); both stamps are bookkeeping for humans
+/// and never feed a digest or a replayed verdict. The sweep's per-job
+/// trace writes and ETA lines, and the stream's detector timing, need no
+/// exemption: they use `footsteps_obs::Stopwatch` and the obs exporter.
+pub const WALL_CLOCK_FILES: &[&str] =
+    &["crates/sweep/src/manifest.rs", "crates/stream/src/envelope.rs"];
 
 /// The only file allowed to construct RNGs from raw seeds in non-test code.
 pub const RNG_MODULE: &str = "crates/sim/src/rng.rs";

@@ -218,6 +218,34 @@ fn sweep_is_a_digest_crate_with_wall_clock_exemption() {
 }
 
 #[test]
+fn stream_is_a_digest_crate_with_envelope_wall_clock_exemption() {
+    // The online detector replays byte-identically from a recorded log,
+    // so `crates/stream/src` is held to the digest-crate determinism
+    // rules: hash-order iteration there is a violation exactly as in
+    // `crates/sim/src`.
+    let iter = lint_one("crates/stream/src/online.rs", NONDET_ITER);
+    let iter_hits = by_rule(&iter, Rule::NondetIter);
+    assert_eq!(iter_hits.len(), 3, "findings: {iter:#?}");
+    assert_eq!(
+        iter_hits.iter().filter(|f| f.is_violation()).count(),
+        2,
+        "findings: {iter:#?}"
+    );
+
+    // The one scoped exemption: the envelope stamps `recorded_unix` into
+    // the log header with `SystemTime` — bookkeeping that never feeds a
+    // digest. Everywhere else in the crate (the sink's detector timing
+    // included) raw wall-clock stays a violation; timing goes through
+    // `footsteps_obs::Stopwatch`.
+    let envelope = lint_one("crates/stream/src/envelope.rs", WALL_CLOCK);
+    assert!(by_rule(&envelope, Rule::WallClock).is_empty(), "findings: {envelope:#?}");
+    let sink = lint_one("crates/stream/src/sink.rs", WALL_CLOCK);
+    let sink_hits = by_rule(&sink, Rule::WallClock);
+    assert_eq!(sink_hits.len(), 2, "findings: {sink:#?}");
+    assert!(sink_hits.iter().all(|f| f.is_violation()));
+}
+
+#[test]
 fn trace_exporter_paths_keep_their_wall_clock_exemptions() {
     // The Chrome-trace exporter lives in `crates/obs` (crate-wide
     // exemption); no other file gained one for the trace work.

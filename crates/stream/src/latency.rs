@@ -1,0 +1,147 @@
+//! Detection latency: how many days the online detector trails the batch
+//! classifier, per service, plus precision/recall of the online verdicts
+//! with the batch classification as ground truth.
+//!
+//! The batch classifier matches *final* signatures against every day of
+//! the window, so its `first_seen` is the earliest day an account's
+//! traffic matched the finished signature; the online detector's
+//! `first_seen` is the first day the account matched the signature *as
+//! known that day*. The difference is the cost of detecting online, in
+//! days — zero once the signature has converged.
+
+use footsteps_analysis::Welford;
+use footsteps_detect::{Classification, Score};
+use footsteps_sim::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Per-service latency distribution and online-vs-batch agreement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServiceLatency {
+    /// The service.
+    pub service: ServiceId,
+    /// Accounts detected by both the online and batch classifiers.
+    pub matched: u64,
+    /// Mean detection latency over matched accounts, in days.
+    pub mean_days: f64,
+    /// Sample standard deviation of the latency, in days.
+    pub std_days: f64,
+    /// Worst-case latency, in days.
+    pub max_days: u32,
+    /// Online-vs-batch agreement (`tp` = matched, `fp` = online-only,
+    /// `fn_` = batch-only), batch verdicts as ground truth.
+    pub score: Score,
+}
+
+/// The detection-latency report over all services with any verdicts.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LatencyReport {
+    /// One row per service, in `ServiceId::ALL` order.
+    pub rows: Vec<ServiceLatency>,
+}
+
+impl LatencyReport {
+    /// Aggregate mean latency across all services, weighted by matched
+    /// accounts. 0 when nothing matched.
+    pub fn overall_mean_days(&self) -> f64 {
+        let total: u64 = self.rows.iter().map(|r| r.matched).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let weighted: f64 = self
+            .rows
+            .iter()
+            .map(|r| r.mean_days * r.matched as f64)
+            .sum();
+        weighted / total as f64
+    }
+}
+
+/// Compare online verdicts against the batch classification.
+pub fn latency_report(online: &Classification, batch: &Classification) -> LatencyReport {
+    let mut rows = Vec::new();
+    for service in ServiceId::ALL {
+        let empty = std::collections::BTreeSet::new();
+        let on = online.customers.get(&service).unwrap_or(&empty);
+        let ba = batch.customers.get(&service).unwrap_or(&empty);
+        if on.is_empty() && ba.is_empty() {
+            continue;
+        }
+        let mut lat = Welford::new();
+        let mut max_days = 0u32;
+        let mut matched = 0u64;
+        for &account in on.intersection(ba) {
+            let Some(&detected) = online.first_seen.get(&(service, account)) else { continue };
+            let Some(&truth) = batch.first_seen.get(&(service, account)) else { continue };
+            let days = detected.0.saturating_sub(truth.0);
+            lat.push(f64::from(days));
+            max_days = max_days.max(days);
+            matched += 1;
+        }
+        let score = Score {
+            tp: on.intersection(ba).count(),
+            fp: on.difference(ba).count(),
+            fn_: ba.difference(on).count(),
+        };
+        rows.push(ServiceLatency {
+            service,
+            matched,
+            mean_days: lat.mean(),
+            std_days: lat.std_dev(),
+            max_days,
+            score,
+        });
+    }
+    LatencyReport { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    fn classification(entries: &[(ServiceId, u32, u32)]) -> Classification {
+        let mut c = Classification::default();
+        for &(s, a, day) in entries {
+            c.customers.entry(s).or_insert_with(BTreeSet::new).insert(AccountId(a));
+            c.first_seen.insert((s, AccountId(a)), Day(day));
+        }
+        c
+    }
+
+    #[test]
+    fn latency_is_online_minus_batch_first_seen() {
+        let s = ServiceId::Boostgram;
+        let batch = classification(&[(s, 1, 2), (s, 2, 4), (s, 3, 6)]);
+        let online = classification(&[(s, 1, 5), (s, 2, 4)]); // account 3 missed
+        let report = latency_report(&online, &batch);
+        assert_eq!(report.rows.len(), 1);
+        let row = &report.rows[0];
+        assert_eq!(row.service, s);
+        assert_eq!(row.matched, 2);
+        assert_eq!(row.mean_days, 1.5, "latencies 3 and 0");
+        assert_eq!(row.max_days, 3);
+        assert_eq!(row.score.tp, 2);
+        assert_eq!(row.score.fp, 0);
+        assert_eq!(row.score.fn_, 1);
+        assert_eq!(row.score.recall(), 2.0 / 3.0);
+        assert_eq!(row.score.precision(), 1.0);
+    }
+
+    #[test]
+    fn overall_mean_weights_by_matched() {
+        let a = ServiceId::Boostgram;
+        let b = ServiceId::Hublaagram;
+        let batch = classification(&[(a, 1, 0), (b, 2, 0), (b, 3, 0)]);
+        let online = classification(&[(a, 1, 3), (b, 2, 0), (b, 3, 0)]);
+        let report = latency_report(&online, &batch);
+        // One account at 3 days, two at 0 days → weighted mean 1.0.
+        assert!((report.overall_mean_days() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn services_with_no_verdicts_are_omitted() {
+        let report = latency_report(&Classification::default(), &Classification::default());
+        assert!(report.rows.is_empty());
+        assert_eq!(report.overall_mean_days(), 0.0);
+    }
+}

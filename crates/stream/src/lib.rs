@@ -1,0 +1,95 @@
+//! # footsteps-stream
+//!
+//! Online detection over a replayable platform event log (DESIGN.md §8).
+//!
+//! The batch pipeline of *Following Their Footsteps* looks backwards over
+//! a finished window. A production counter-abuse system does not get that
+//! luxury: signatures, classifications and thresholds must be maintained
+//! as traffic arrives. This crate adds that online vantage point on top
+//! of the simulator, in three pieces:
+//!
+//! * [`envelope`] — a compact per-day [`EventBatch`] (action aggregates
+//!   with enforcement outcomes, logins with ASN, honeypot event streams)
+//!   plus a versioned JSONL log with atomic tmp+rename writes;
+//! * [`online`] — the [`OnlineDetector`]: incremental honeypot signature
+//!   matching, per-day classification with day-of-first-detection, and
+//!   sliding-window §6.2 thresholds over presorted per-day runs
+//!   (`footsteps_aas::stats::quantile_sorted_runs` — no re-sorting);
+//! * [`sink`] — the [`StreamSink`] implementing `sim::EventSink`, feeding
+//!   the detector inline and (optionally) recording the log;
+//! * [`latency`] — detection latency and precision/recall of the online
+//!   verdicts against the batch classifier.
+//!
+//! [`replay`] re-runs a recorded log through a fresh detector offline;
+//! CI asserts its verdict digest is byte-identical to the inline run's.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod envelope;
+pub mod latency;
+pub mod online;
+pub mod sink;
+
+pub use envelope::{
+    EventBatch, EventLogReader, EventLogWriter, LogHeader, LoginRecord, RosterEntry, StreamError,
+    STREAM_SCHEMA_VERSION,
+};
+pub use latency::{latency_report, LatencyReport, ServiceLatency};
+pub use online::{OnlineDetector, SignatureView, StreamConfig, StreamOutcome, VerdictSnapshot};
+pub use sink::{roster, StreamSink};
+
+use footsteps_obs::Stopwatch;
+use std::path::Path;
+
+/// FNV-1a over bytes — the same digest primitive as
+/// `StudyResults::digest` and the sweep checkpoints, duplicated locally
+/// (12 lines) rather than creating a dependency edge for it.
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+/// Replay a recorded event log through a fresh [`OnlineDetector`].
+///
+/// The log header carries the roster and window geometry, so replay needs
+/// nothing but the file; the returned outcome's `verdict_digest` is
+/// byte-identical to the inline run that recorded the log.
+pub fn replay(path: &Path) -> Result<StreamOutcome, StreamError> {
+    let mut reader = EventLogReader::open(path)?;
+    let header = reader.header();
+    let config = StreamConfig {
+        calibration_start: header.calibration_start,
+        calibration_end: header.calibration_end,
+        window_days: header.window_days,
+    };
+    let roster = header.roster.clone();
+    let mut detector = OnlineDetector::new(config, &roster);
+    let sw = Stopwatch::start();
+    while let Some(batch) = reader.next_batch()? {
+        detector.ingest(&batch);
+    }
+    let reached = detector.next_day();
+    detector
+        .into_outcome(sw.elapsed_secs(), Some(path.to_path_buf()))
+        .ok_or(StreamError::Incomplete { reached })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Same vectors the sweep checkpoint tests pin.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+}

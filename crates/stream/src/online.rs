@@ -1,0 +1,660 @@
+//! The online detector: batch `detect` semantics, computed incrementally.
+//!
+//! The batch pipeline (`detect::DetectionPipeline`) scans the whole
+//! characterization window after the fact. This detector consumes one
+//! [`EventBatch`] per day and maintains the same three artifacts as
+//! running state:
+//!
+//! * **signatures** — grown monotonically from the honeypot roster's event
+//!   streams, with the same home-ASN/organic-client skip rule as
+//!   `detect::extract_signature`;
+//! * **classification** — each day's aggregates are matched against the
+//!   signatures *as of that day* (today's events update the signature
+//!   before today's aggregates are matched), so `first_seen` is the
+//!   account's *day of first online detection*;
+//! * **thresholds** — per-ASN daily-activity samples are kept in a sliding
+//!   window of per-day *sorted runs*; at the calibration boundary the §6.2
+//!   rules are evaluated with `quantile_sorted_runs`
+//!   (`footsteps_aas::stats`), a rank merge over the presorted runs — no
+//!   re-sort of the full window, and bit-identical to the batch path's
+//!   sort-then-index percentile.
+//!
+//! When the detector reaches `calibration_end` it **freezes** a
+//! [`VerdictSnapshot`] and stamps it with an FNV-1a digest of its
+//! canonical JSON; the record→replay identity gate in CI compares this
+//! digest between the inline run and `stream-replay`.
+//!
+//! Expected deviations from batch verdicts: the batch classifier matches
+//! *final* signatures against *every* day, so an account active only
+//! before the day its service's signature finished growing can appear in
+//! batch but not online. Online verdicts are therefore a subset of batch
+//! verdicts; the parity test pins the observed gap on the smoke scenario.
+
+use crate::envelope::{EventBatch, RosterEntry};
+use footsteps_detect::{AsnTraffic, Classification, ThresholdTable};
+use footsteps_sim::enforcement::Direction;
+use footsteps_sim::prelude::*;
+use serde::Serialize;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::path::PathBuf;
+
+/// The window geometry the detector freezes on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamConfig {
+    /// First day of the threshold calibration window.
+    pub calibration_start: Day,
+    /// End (exclusive) of the calibration window; verdicts freeze here.
+    pub calibration_end: Day,
+    /// Sliding-window length in days (the scenario's calibration tail).
+    pub window_days: u32,
+}
+
+/// Incrementally grown signature state for one service. Mirrors
+/// `detect::ServiceSignature` but keeps both sets ordered so snapshots
+/// serialize canonically without a sort at freeze time.
+#[derive(Debug, Clone, Default)]
+struct SigState {
+    asn_set: BTreeSet<AsnId>,
+    client_set: BTreeSet<ClientFingerprint>,
+    collusion: bool,
+}
+
+impl SigState {
+    /// Same predicate as `ServiceSignature::matches_outbound`.
+    fn matches_outbound(&self, asn: AsnId, fingerprint: ClientFingerprint) -> bool {
+        self.asn_set.contains(&asn) && self.client_set.contains(&fingerprint)
+    }
+
+    /// Same predicate as `ServiceSignature::matches_inbound`.
+    fn matches_inbound(&self, asn: AsnId) -> bool {
+        self.collusion && self.asn_set.contains(&asn)
+    }
+}
+
+/// One day of threshold-calibration samples, presorted at construction.
+#[derive(Debug, Clone, Default)]
+struct DaySamples {
+    /// Per ASN: `(account, total attempted outbound)` per raw record, for
+    /// the abusive/benign traffic split of `asn_traffic_kind`.
+    kind_samples: BTreeMap<AsnId, Vec<(AccountId, u32)>>,
+    /// Per `(ASN, action)`: per-account daily outbound counts (summed
+    /// across fingerprints), sorted by `(count, account)` so a filtered
+    /// projection to counts stays sorted.
+    out_runs: BTreeMap<(AsnId, ActionType), Vec<(u32, AccountId)>>,
+    /// Per `(ASN, action)`: per-recipient daily inbound counts, sorted.
+    in_runs: BTreeMap<(AsnId, ActionType), Vec<u32>>,
+}
+
+/// The two action types §6.2 thresholds cover.
+const THRESHOLD_TYPES: [ActionType; 2] = [ActionType::Like, ActionType::Follow];
+
+impl DaySamples {
+    fn build(batch: &EventBatch) -> Self {
+        let mut s = DaySamples::default();
+        let mut per: BTreeMap<(AsnId, ActionType, AccountId), u32> = BTreeMap::new();
+        for (key, counts) in &batch.outbound {
+            s.kind_samples
+                .entry(key.asn)
+                .or_default()
+                .push((key.account, counts.total_attempted()));
+            for ty in THRESHOLD_TYPES {
+                let n = counts.attempted_of(ty);
+                if n > 0 {
+                    *per.entry((key.asn, ty, key.account)).or_insert(0) += n;
+                }
+            }
+        }
+        for ((asn, ty, account), n) in per {
+            s.out_runs.entry((asn, ty)).or_default().push((n, account));
+        }
+        for run in s.out_runs.values_mut() {
+            run.sort_unstable();
+        }
+        for ((_, source), counts) in &batch.inbound {
+            let Some(asn) = source else { continue };
+            for ty in THRESHOLD_TYPES {
+                let n = counts.attempted_of(ty);
+                if n > 0 {
+                    s.in_runs.entry((*asn, ty)).or_default().push(n);
+                }
+            }
+        }
+        for run in s.in_runs.values_mut() {
+            run.sort_unstable();
+        }
+        s
+    }
+}
+
+/// A service signature as frozen into a [`VerdictSnapshot`]: the same
+/// content as `detect::ServiceSignature` with both sets in sorted order.
+#[derive(Debug, Clone, Serialize)]
+pub struct SignatureView {
+    /// The service.
+    pub service: ServiceId,
+    /// Sorted signature ASNs.
+    pub asns: Vec<AsnId>,
+    /// Sorted signature client fingerprints.
+    pub fingerprints: Vec<ClientFingerprint>,
+    /// Whether inbound traffic from the ASNs also matches.
+    pub collusion: bool,
+}
+
+/// Everything the online detector believed at the calibration boundary.
+/// Serialization is fully canonical (sorted vectors and BTree maps only),
+/// so its FNV-1a digest is the record→replay identity token.
+#[derive(Debug, Clone, Serialize)]
+pub struct VerdictSnapshot {
+    /// Schema stamp (same version space as the event-log envelope).
+    pub schema_version: u32,
+    /// The day the verdicts froze (`calibration_end`).
+    pub frozen_on: Day,
+    /// Signatures as of the freeze.
+    pub signatures: Vec<SignatureView>,
+    /// Online customer attribution. `first_seen` is the per-account
+    /// day-of-first-detection.
+    pub classification: Classification,
+    /// Frozen thresholds, flattened from the table's ordered map.
+    pub thresholds: Vec<((AsnId, ActionType, Direction), u32)>,
+    /// Traffic kind per signature ASN, sorted by ASN.
+    pub asn_kinds: Vec<(AsnId, AsnTraffic)>,
+}
+
+impl VerdictSnapshot {
+    /// Canonical JSON of the snapshot.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("verdict snapshot serializes")
+    }
+
+    /// FNV-1a of [`VerdictSnapshot::to_json`].
+    pub fn digest(&self) -> u64 {
+        crate::fnv1a(self.to_json().as_bytes())
+    }
+
+    /// Rebuild the frozen table (for handing to intervention policies or
+    /// comparing against the batch pipeline's table).
+    pub fn threshold_table(&self) -> ThresholdTable {
+        let mut table = ThresholdTable::default();
+        for &((asn, ty, direction), v) in &self.thresholds {
+            table.set(asn, ty, direction, v);
+        }
+        for &(asn, kind) in &self.asn_kinds {
+            table.asn_kinds.insert(asn, kind);
+        }
+        table
+    }
+}
+
+/// What a completed streaming run hands back to its caller.
+#[derive(Debug, Clone)]
+pub struct StreamOutcome {
+    /// The frozen verdicts.
+    pub verdicts: VerdictSnapshot,
+    /// [`VerdictSnapshot::digest`], precomputed at freeze.
+    pub verdict_digest: u64,
+    /// Records consumed (outbound + inbound + logins + events).
+    pub events_processed: u64,
+    /// Day batches consumed.
+    pub batches: u64,
+    /// Wall-clock seconds spent inside the detector (observability only;
+    /// measured by the caller with `footsteps_obs::Stopwatch`).
+    pub detector_secs: f64,
+    /// Where the recorded log ended up, if recording was on.
+    pub log_path: Option<PathBuf>,
+}
+
+/// The incremental detector. Feed it day batches in order via
+/// [`OnlineDetector::ingest`]; it freezes itself when the calibration
+/// window closes.
+#[derive(Debug)]
+pub struct OnlineDetector {
+    config: StreamConfig,
+    /// `account → (home ASN, service)` for signature extraction.
+    watch: BTreeMap<AccountId, (AsnId, ServiceId)>,
+    sigs: BTreeMap<ServiceId, SigState>,
+    classification: Classification,
+    window: VecDeque<DaySamples>,
+    next_day: Day,
+    events_processed: u64,
+    batches: u64,
+    frozen: Option<(VerdictSnapshot, u64)>,
+}
+
+impl OnlineDetector {
+    /// A fresh detector watching `roster` with the given window geometry.
+    pub fn new(config: StreamConfig, roster: &[RosterEntry]) -> Self {
+        let watch = roster
+            .iter()
+            .map(|r| (r.account, (r.home_asn, r.service)))
+            .collect();
+        Self {
+            config,
+            watch,
+            sigs: BTreeMap::new(),
+            classification: Classification::default(),
+            window: VecDeque::new(),
+            next_day: Day(0),
+            events_processed: 0,
+            batches: 0,
+            frozen: None,
+        }
+    }
+
+    /// The next day this detector expects.
+    pub fn next_day(&self) -> Day {
+        self.next_day
+    }
+
+    /// Records consumed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Day batches consumed so far.
+    pub fn batches(&self) -> u64 {
+        self.batches
+    }
+
+    /// The classifier's verdicts so far (`first_seen` is the per-account
+    /// day of first online detection).
+    pub fn classification(&self) -> &Classification {
+        &self.classification
+    }
+
+    /// The frozen verdicts, once the calibration window has closed.
+    pub fn frozen(&self) -> Option<&VerdictSnapshot> {
+        self.frozen.as_ref().map(|(s, _)| s)
+    }
+
+    /// The frozen verdict digest, once available.
+    pub fn verdict_digest(&self) -> Option<u64> {
+        self.frozen.as_ref().map(|&(_, d)| d)
+    }
+
+    /// Consume one day. Days must arrive in order with no gaps.
+    ///
+    /// # Panics
+    /// Panics if `batch.day` is not the expected next day.
+    pub fn ingest(&mut self, batch: &EventBatch) {
+        assert_eq!(
+            batch.day, self.next_day,
+            "event batches must arrive in day order with no gaps"
+        );
+        self.next_day = batch.day.plus(1);
+        self.events_processed += batch.record_count();
+        self.batches += 1;
+
+        // 1. Grow signatures from today's honeypot events, so today's
+        //    aggregates are matched against today's knowledge.
+        for ev in &batch.events {
+            let Some(&(home, service)) = self.watch.get(&ev.actor) else { continue };
+            // Same rule as `detect::extract_signature`: the framework's own
+            // management traffic (home network, first-party client) is not
+            // service traffic.
+            if ev.asn == home && ev.fingerprint.is_organic_client() {
+                continue;
+            }
+            let sig = self.sigs.entry(service).or_insert_with(|| SigState {
+                collusion: service.is_collusion(),
+                ..SigState::default()
+            });
+            sig.asn_set.insert(ev.asn);
+            sig.client_set.insert(ev.fingerprint);
+        }
+
+        // 2. Classify today's aggregates (same record skip rules and the
+        //    same note() bookkeeping as `detect::classify`).
+        for (key, counts) in &batch.outbound {
+            if counts.total_attempted() == 0 {
+                continue;
+            }
+            for (&service, sig) in &self.sigs {
+                if sig.matches_outbound(key.asn, key.fingerprint) {
+                    note(&mut self.classification, service, key.account, batch.day);
+                }
+            }
+        }
+        for ((account, source), counts) in &batch.inbound {
+            let Some(asn) = source else { continue };
+            if counts.total_attempted() == 0 {
+                continue;
+            }
+            for (&service, sig) in &self.sigs {
+                if sig.matches_inbound(*asn) {
+                    note(&mut self.classification, service, *account, batch.day);
+                }
+            }
+        }
+
+        // 3. Slide the calibration sample window.
+        self.window.push_back(DaySamples::build(batch));
+        while self.window.len() > self.config.window_days as usize {
+            self.window.pop_front();
+        }
+
+        // 4. Freeze at the calibration boundary.
+        if self.next_day == self.config.calibration_end && self.frozen.is_none() {
+            let snapshot = self.freeze();
+            let digest = snapshot.digest();
+            self.frozen = Some((snapshot, digest));
+        }
+    }
+
+    /// Abusive/benign split of an ASN's windowed outbound traffic —
+    /// `detect::asn_traffic_kind` over the sliding window.
+    fn asn_kind(&self, asn: AsnId) -> AsnTraffic {
+        let mut abusive = 0u64;
+        let mut benign = 0u64;
+        for day in &self.window {
+            let Some(samples) = day.kind_samples.get(&asn) else { continue };
+            for &(account, n) in samples {
+                if self.classification.is_abusive(account) {
+                    abusive += u64::from(n);
+                } else {
+                    benign += u64::from(n);
+                }
+            }
+        }
+        let total = abusive + benign;
+        if total == 0 || abusive == 0 {
+            return AsnTraffic::Benign;
+        }
+        if benign * 50 < total {
+            AsnTraffic::PureAbuse
+        } else {
+            AsnTraffic::Mixed
+        }
+    }
+
+    /// Windowed quantile of per-account daily outbound counts, filtered by
+    /// classification state. Each day's run is presorted by `(count,
+    /// account)`, so the filtered count projection stays sorted and the
+    /// quantile is a rank merge — no re-sort of the window.
+    fn out_quantile(&self, asn: AsnId, ty: ActionType, p: f64, abusive: bool) -> Option<u32> {
+        let filtered: Vec<Vec<u32>> = self
+            .window
+            .iter()
+            .map(|day| {
+                day.out_runs
+                    .get(&(asn, ty))
+                    .map(|run| {
+                        run.iter()
+                            .filter(|&&(_, account)| {
+                                self.classification.is_abusive(account) == abusive
+                            })
+                            .map(|&(n, _)| n)
+                            .collect()
+                    })
+                    .unwrap_or_default()
+            })
+            .collect();
+        let runs: Vec<&[u32]> = filtered.iter().map(Vec::as_slice).collect();
+        footsteps_aas::stats::quantile_sorted_runs(&runs, p)
+    }
+
+    /// Windowed quantile of per-recipient daily inbound counts.
+    fn in_quantile(&self, asn: AsnId, ty: ActionType, p: f64) -> Option<u32> {
+        let runs: Vec<&[u32]> = self
+            .window
+            .iter()
+            .map(|day| {
+                day.in_runs
+                    .get(&(asn, ty))
+                    .map(|run| run.as_slice())
+                    .unwrap_or(&[])
+            })
+            .collect();
+        footsteps_aas::stats::quantile_sorted_runs(&runs, p)
+    }
+
+    /// Evaluate the §6.2 threshold rules over the current window and
+    /// snapshot everything. Mirrors `detect::compute_thresholds`.
+    fn freeze(&self) -> VerdictSnapshot {
+        let mut table = ThresholdTable::default();
+        let mut kinds: BTreeMap<AsnId, AsnTraffic> = BTreeMap::new();
+        for sig in self.sigs.values() {
+            let direction = if sig.collusion {
+                Direction::Inbound
+            } else {
+                Direction::Outbound
+            };
+            for &asn in &sig.asn_set {
+                let kind = self.asn_kind(asn);
+                kinds.insert(asn, kind);
+                for ty in THRESHOLD_TYPES {
+                    let threshold = match kind {
+                        AsnTraffic::Benign => continue,
+                        AsnTraffic::Mixed => self.out_quantile(asn, ty, 0.99, false),
+                        AsnTraffic::PureAbuse => match direction {
+                            Direction::Outbound => self.out_quantile(asn, ty, 0.25, true),
+                            Direction::Inbound => self.in_quantile(asn, ty, 0.25),
+                        },
+                    };
+                    let Some(v) = threshold else { continue };
+                    table.set(asn, ty, direction, v.max(1));
+                }
+            }
+        }
+        let signatures = self
+            .sigs
+            .iter()
+            .map(|(&service, sig)| SignatureView {
+                service,
+                asns: sig.asn_set.iter().copied().collect(),
+                fingerprints: sig.client_set.iter().copied().collect(),
+                collusion: sig.collusion,
+            })
+            .collect();
+        VerdictSnapshot {
+            schema_version: crate::envelope::STREAM_SCHEMA_VERSION,
+            frozen_on: self.config.calibration_end,
+            signatures,
+            classification: self.classification.clone(),
+            thresholds: table.iter().map(|(&k, &v)| (k, v)).collect(),
+            asn_kinds: kinds.into_iter().collect(),
+        }
+    }
+
+    /// Finish the run: hand back the frozen verdicts plus the counters.
+    /// `None` if the calibration window never closed.
+    pub fn into_outcome(
+        self,
+        detector_secs: f64,
+        log_path: Option<PathBuf>,
+    ) -> Option<StreamOutcome> {
+        let events_processed = self.events_processed;
+        let batches = self.batches;
+        let (verdicts, verdict_digest) = self.frozen?;
+        Some(StreamOutcome {
+            verdicts,
+            verdict_digest,
+            events_processed,
+            batches,
+            detector_secs,
+            log_path,
+        })
+    }
+}
+
+/// Identical bookkeeping to `detect::classify`'s `note`.
+fn note(c: &mut Classification, service: ServiceId, account: AccountId, day: Day) {
+    c.customers.entry(service).or_default().insert(account);
+    c.first_seen.entry((service, account)).or_insert(day);
+    c.last_seen.insert((service, account), day);
+    let days = c.active_days.entry((service, account)).or_default();
+    if days.last() != Some(&day) {
+        days.push(day);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::envelope::LoginRecord;
+
+    fn cfg(end: u32, window: u32) -> StreamConfig {
+        StreamConfig {
+            calibration_start: Day(end.saturating_sub(window)),
+            calibration_end: Day(end),
+            window_days: window,
+        }
+    }
+
+    fn roster() -> Vec<RosterEntry> {
+        vec![RosterEntry {
+            account: AccountId(1),
+            home_asn: AsnId(0),
+            service: ServiceId::Boostgram,
+        }]
+    }
+
+    fn honeypot_event(day: u32, asn: AsnId, fp: ClientFingerprint) -> ActionEvent {
+        ActionEvent {
+            at: Day(day).start(),
+            actor: AccountId(1),
+            action: ActionType::Follow,
+            target: ActionTarget::Account(AccountId(9)),
+            ip: IpAddr4(0),
+            asn,
+            fingerprint: fp,
+            outcome: ActionOutcome::Delivered,
+        }
+    }
+
+    fn outbound(account: u32, asn: AsnId, fp: ClientFingerprint, follows: u32) -> (OutboundKey, TypeCounts) {
+        let mut counts = TypeCounts::default();
+        let idx = ActionType::Follow.index();
+        counts.attempted[idx] = follows;
+        counts.delivered[idx] = follows;
+        (
+            OutboundKey { account: AccountId(account), asn, fingerprint: fp },
+            counts,
+        )
+    }
+
+    const BOT: ClientFingerprint = ClientFingerprint::SpoofedMobile { variant: 1 };
+
+    #[test]
+    fn signature_grows_and_classifies_same_day() {
+        let mut det = OnlineDetector::new(cfg(2, 2), &roster());
+        let service_asn = AsnId(7);
+        let batch = EventBatch {
+            day: Day(0),
+            outbound: vec![outbound(1, service_asn, BOT, 10), outbound(42, service_asn, BOT, 10)],
+            events: vec![honeypot_event(0, service_asn, BOT)],
+            ..EventBatch::default()
+        };
+        det.ingest(&batch);
+        // The honeypot event taught the signature before the aggregates
+        // were matched, so the customer is caught on its first day.
+        assert!(det.classification().is_abusive(AccountId(42)));
+        assert_eq!(
+            det.classification().first_seen[&(ServiceId::Boostgram, AccountId(42))],
+            Day(0)
+        );
+    }
+
+    #[test]
+    fn home_organic_traffic_does_not_enter_signature() {
+        let mut det = OnlineDetector::new(cfg(2, 2), &roster());
+        let batch = EventBatch {
+            day: Day(0),
+            events: vec![honeypot_event(0, AsnId(0), ClientFingerprint::OfficialApp)],
+            ..EventBatch::default()
+        };
+        det.ingest(&batch);
+        det.ingest(&EventBatch { day: Day(1), ..EventBatch::default() });
+        let frozen = det.frozen().expect("frozen at calibration end");
+        assert!(frozen.signatures.is_empty(), "management traffic is not the service");
+    }
+
+    #[test]
+    fn freezes_exactly_at_calibration_end() {
+        let mut det = OnlineDetector::new(cfg(3, 3), &roster());
+        det.ingest(&EventBatch { day: Day(0), ..EventBatch::default() });
+        det.ingest(&EventBatch { day: Day(1), ..EventBatch::default() });
+        assert!(det.frozen().is_none());
+        det.ingest(&EventBatch { day: Day(2), ..EventBatch::default() });
+        assert!(det.frozen().is_some());
+        let digest = det.verdict_digest().unwrap();
+        // Post-freeze batches do not change the frozen verdicts.
+        det.ingest(&EventBatch { day: Day(3), ..EventBatch::default() });
+        assert_eq!(det.verdict_digest(), Some(digest));
+    }
+
+    #[test]
+    #[should_panic(expected = "day order")]
+    fn out_of_order_batch_panics() {
+        let mut det = OnlineDetector::new(cfg(3, 3), &roster());
+        det.ingest(&EventBatch { day: Day(1), ..EventBatch::default() });
+    }
+
+    #[test]
+    fn pure_abuse_threshold_is_25th_percentile_of_abuse() {
+        let service_asn = AsnId(7);
+        let mut det = OnlineDetector::new(cfg(2, 2), &roster());
+        // Day 0: signature + four abusive accounts at 10/20/30/40 follows.
+        let batch = EventBatch {
+            day: Day(0),
+            outbound: (0..4).map(|i| outbound(40 + i, service_asn, BOT, 10 * (i + 1))).collect(),
+            events: vec![honeypot_event(0, service_asn, BOT)],
+            ..EventBatch::default()
+        };
+        det.ingest(&batch);
+        det.ingest(&EventBatch { day: Day(1), ..EventBatch::default() });
+        let frozen = det.frozen().unwrap();
+        let table = frozen.threshold_table();
+        assert_eq!(table.asn_kinds[&service_asn], AsnTraffic::PureAbuse);
+        // Nearest-rank 25th percentile of {10,20,30,40} is 10.
+        assert_eq!(
+            table.get(service_asn, ActionType::Follow, Direction::Outbound),
+            Some(10)
+        );
+    }
+
+    #[test]
+    fn mixed_asn_uses_benign_99th_percentile() {
+        let mixed = AsnId(7);
+        let mut det = OnlineDetector::new(cfg(2, 2), &roster());
+        let mut out = vec![outbound(1, mixed, BOT, 500), outbound(42, mixed, BOT, 500)];
+        // 100 benign accounts, 1..=100 follows each, via an organic client.
+        for i in 0..100u32 {
+            out.push(outbound(1000 + i, mixed, ClientFingerprint::OfficialApp, i + 1));
+        }
+        let batch = EventBatch {
+            day: Day(0),
+            outbound: out,
+            events: vec![honeypot_event(0, mixed, BOT)],
+            ..EventBatch::default()
+        };
+        det.ingest(&batch);
+        det.ingest(&EventBatch { day: Day(1), ..EventBatch::default() });
+        let frozen = det.frozen().unwrap();
+        let table = frozen.threshold_table();
+        assert_eq!(table.asn_kinds[&mixed], AsnTraffic::Mixed);
+        // 99th percentile of the 100 benign counts {1..=100} is 99.
+        assert_eq!(table.get(mixed, ActionType::Follow, Direction::Outbound), Some(99));
+    }
+
+    #[test]
+    fn verdict_digest_is_stable_for_identical_streams() {
+        let feed = |det: &mut OnlineDetector| {
+            let service_asn = AsnId(7);
+            det.ingest(&EventBatch {
+                day: Day(0),
+                outbound: vec![outbound(42, service_asn, BOT, 10)],
+                events: vec![honeypot_event(0, service_asn, BOT)],
+                logins: vec![LoginRecord { account: AccountId(42), asn: service_asn, count: 1 }],
+                ..EventBatch::default()
+            });
+            det.ingest(&EventBatch { day: Day(1), ..EventBatch::default() });
+        };
+        let mut a = OnlineDetector::new(cfg(2, 2), &roster());
+        let mut b = OnlineDetector::new(cfg(2, 2), &roster());
+        feed(&mut a);
+        feed(&mut b);
+        assert_eq!(a.verdict_digest().unwrap(), b.verdict_digest().unwrap());
+        assert_eq!(a.events_processed(), 3);
+        assert_eq!(a.batches(), 2);
+    }
+}

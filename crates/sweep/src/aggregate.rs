@@ -13,6 +13,7 @@ use footsteps_analysis::report::Table;
 use footsteps_analysis::stats::{percentiles, Welford};
 use footsteps_core::results::StudyResults;
 use footsteps_obs::MetricsSnapshot;
+use footsteps_stream::LatencyReport;
 
 /// Welford moments for one Table 5 reciprocation cell across seeds.
 #[derive(Debug, Clone, Default)]
@@ -69,6 +70,25 @@ pub struct RevenueAgg {
     pub hublaagram_cents: Welford,
 }
 
+/// One aggregated detection-latency row (DESIGN.md §8): the per-seed
+/// online-vs-batch latency summaries for one service, pooled across
+/// seeds.
+#[derive(Debug, Clone)]
+pub struct LatencyAgg {
+    /// Service label.
+    pub service: String,
+    /// Accounts matched by both detectors, per seed.
+    pub matched: Welford,
+    /// Per-seed mean latency in days.
+    pub mean_days: Welford,
+    /// Per-seed worst-case latency in days.
+    pub max_days: Welford,
+    /// Per-seed online-vs-batch precision.
+    pub precision: Welford,
+    /// Per-seed online-vs-batch recall.
+    pub recall: Welford,
+}
+
 /// Everything `sweep report` prints.
 #[derive(Debug)]
 pub struct AggregateReport {
@@ -84,12 +104,20 @@ pub struct AggregateReport {
     pub revenue: RevenueAgg,
     /// All seeds' metrics snapshots merged (None when none were given).
     pub metrics: Option<MetricsSnapshot>,
+    /// Aggregated detection-latency rows, first-seen order (empty when
+    /// no seed supplied a latency report).
+    pub latency: Vec<LatencyAgg>,
 }
 
-/// Aggregate per-seed results (and optionally their metrics snapshots)
-/// into one report. Rows are keyed by their labels, so partial overlaps
-/// (a variant missing a service) still align correctly.
-pub fn aggregate(per_seed: &[StudyResults], metrics: &[MetricsSnapshot]) -> AggregateReport {
+/// Aggregate per-seed results (and optionally their metrics snapshots and
+/// detection-latency reports) into one report. Rows are keyed by their
+/// labels, so partial overlaps (a variant missing a service) still align
+/// correctly.
+pub fn aggregate(
+    per_seed: &[StudyResults],
+    metrics: &[MetricsSnapshot],
+    latency: &[LatencyReport],
+) -> AggregateReport {
     let mut report = AggregateReport {
         seeds: per_seed.iter().map(|r| r.seed).collect(),
         digests: per_seed.iter().map(|r| (r.seed, r.digest())).collect(),
@@ -97,6 +125,7 @@ pub fn aggregate(per_seed: &[StudyResults], metrics: &[MetricsSnapshot]) -> Aggr
         table6: Vec::new(),
         revenue: RevenueAgg::default(),
         metrics: None,
+        latency: Vec::new(),
     };
 
     for results in per_seed {
@@ -161,6 +190,31 @@ pub fn aggregate(per_seed: &[StudyResults], metrics: &[MetricsSnapshot]) -> Aggr
         match &mut report.metrics {
             Some(merged) => merged.merge(snapshot),
             None => report.metrics = Some(snapshot.clone()),
+        }
+    }
+
+    for seed_report in latency {
+        for row in &seed_report.rows {
+            let service = row.service.to_string();
+            let agg = match report.latency.iter_mut().find(|a| a.service == service) {
+                Some(a) => a,
+                None => {
+                    report.latency.push(LatencyAgg {
+                        service,
+                        matched: Welford::new(),
+                        mean_days: Welford::new(),
+                        max_days: Welford::new(),
+                        precision: Welford::new(),
+                        recall: Welford::new(),
+                    });
+                    report.latency.last_mut().expect("just pushed")
+                }
+            };
+            agg.matched.push(row.matched as f64);
+            agg.mean_days.push(row.mean_days);
+            agg.max_days.push(f64::from(row.max_days));
+            agg.precision.push(row.score.precision());
+            agg.recall.push(row.score.recall());
         }
     }
 
@@ -258,6 +312,27 @@ impl AggregateReport {
         out.push_str(&rev.render());
         out.push('\n');
 
+        if !self.latency.is_empty() {
+            let mut lat = Table::new(
+                format!(
+                    "Detection latency — online vs batch detector (days), mean ± std across {n} seeds"
+                ),
+                &["Service", "Matched", "Mean latency", "Max latency", "Precision", "Recall"],
+            );
+            for row in &self.latency {
+                lat.row(&[
+                    row.service.clone(),
+                    pm(&row.matched),
+                    format!("{:.2} ± {:.2}", row.mean_days.mean(), row.mean_days.std_dev()),
+                    pm(&row.max_days),
+                    pm_rate(&row.precision),
+                    pm_rate(&row.recall),
+                ]);
+            }
+            out.push_str(&lat.render());
+            out.push('\n');
+        }
+
         if let Some(m) = &self.metrics {
             out.push_str(&format!(
                 "metrics: {} phases merged across seeds, {} total counters\n",
@@ -300,6 +375,7 @@ mod tests {
             table6: Vec::new(),
             revenue: RevenueAgg::default(),
             metrics: None,
+            latency: Vec::new(),
         };
         // outbound and in-follows vary, in-likes is constant.
         assert_eq!(report.nonzero_variance_cells(), (2, 3));
@@ -308,5 +384,39 @@ mod tests {
         assert!(text.contains("s1: 0x000000000000000a"));
         assert!(text.contains("±"));
         assert!(text.contains("cross-seed variance: 2 of 3"));
+        assert!(
+            !text.contains("Detection latency"),
+            "latency table is omitted when no seed supplied a report"
+        );
+    }
+
+    #[test]
+    fn latency_rows_pool_across_seeds_by_service_label() {
+        use footsteps_detect::Score;
+        use footsteps_sim::prelude::ServiceId;
+        use footsteps_stream::ServiceLatency;
+
+        let row = |mean: f64, max: u32, fn_: usize| ServiceLatency {
+            service: ServiceId::Boostgram,
+            matched: 4,
+            mean_days: mean,
+            std_days: 0.0,
+            max_days: max,
+            score: Score { tp: 4, fp: 0, fn_ },
+        };
+        let seeds = [
+            LatencyReport { rows: vec![row(2.0, 5, 0)] },
+            LatencyReport { rows: vec![row(4.0, 9, 4)] },
+        ];
+        let report = aggregate(&[], &[], &seeds);
+        assert_eq!(report.latency.len(), 1, "same service pools into one row");
+        let agg = &report.latency[0];
+        assert_eq!(agg.service, "Boostgram");
+        assert_eq!(agg.mean_days.mean(), 3.0);
+        assert_eq!(agg.max_days.mean(), 7.0);
+        assert_eq!(agg.recall.mean(), 0.75, "recalls 1.0 and 0.5");
+        let text = report.render();
+        assert!(text.contains("Detection latency"));
+        assert!(text.contains("3.00 ±"));
     }
 }

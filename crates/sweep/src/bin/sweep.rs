@@ -17,8 +17,8 @@ use std::process::ExitCode;
 use footsteps_core::Scenario;
 use footsteps_sweep::manifest::JobStatus;
 use footsteps_sweep::scheduler::{
-    metrics_path, read_metrics, read_results, results_path, resume_sweep, run_sweep, SweepConfig,
-    SweepOutcome,
+    latency_path, metrics_path, read_latency, read_metrics, read_results, results_path,
+    resume_sweep, run_sweep, SweepConfig, SweepOutcome,
 };
 use footsteps_sweep::{aggregate, SweepError};
 
@@ -149,6 +149,7 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
 
     let mut per_seed = Vec::new();
     let mut metrics = Vec::new();
+    let mut latency = Vec::new();
     for job in manifest.jobs.iter().filter(|j| j.status == JobStatus::Done) {
         let results = read_results(&results_path(&dir, &job.variant, job.seed))
             .map_err(|e| e.to_string())?;
@@ -158,11 +159,18 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
         if mpath.exists() {
             metrics.push(read_metrics(&mpath).map_err(|e| e.to_string())?);
         }
+        // Latency reports only exist for jobs characterized with the
+        // stream attached — directories from older sweeps simply lack
+        // them, so a missing file is not an error.
+        let lpath = latency_path(&dir, &job.variant, job.seed);
+        if lpath.exists() {
+            latency.push(read_latency(&lpath).map_err(|e| e.to_string())?);
+        }
     }
     if per_seed.is_empty() {
         return Err("no completed seeds to report on (run or resume the sweep first)".into());
     }
-    print!("{}", aggregate::aggregate(&per_seed, &metrics).render());
+    print!("{}", aggregate::aggregate(&per_seed, &metrics, &latency).render());
     Ok(())
 }
 

@@ -4,7 +4,7 @@
 //! A checkpoint is a single JSON document:
 //!
 //! ```json
-//! {"schema_version": 1, "scenario_hash": …, "phase": "Characterized", "study": {…}}
+//! {"schema_version": 2, "scenario_hash": …, "phase": "Characterized", "study": {…}}
 //! ```
 //!
 //! `schema_version` gates incompatible layout changes, `scenario_hash`
@@ -30,7 +30,11 @@ use crate::SweepError;
 
 /// Version of the checkpoint envelope + `Study` layout this build writes
 /// and reads. Bump on any change to either.
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// v2: `Study` gained the skip-serialized `stream` outcome and `Platform`
+/// the skip-serialized event sink (DESIGN.md §8). The wire format is
+/// unchanged, but the structural pin moves with the layout.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// Stable FNV-1a over arbitrary bytes — same construction as
 /// [`footsteps_core::results::StudyResults::digest`], shared here for

@@ -32,6 +32,7 @@ use footsteps_analysis::stats::Welford;
 use footsteps_core::results::StudyResults;
 use footsteps_core::{Phase, Scenario, Study};
 use footsteps_obs::{progress, MetricsSnapshot, Stopwatch};
+use footsteps_stream::LatencyReport;
 
 use crate::checkpoint::{self, scenario_hash, write_atomic};
 use crate::manifest::{now_unix, JobEntry, JobStatus, Manifest};
@@ -83,6 +84,13 @@ pub fn trace_path(dir: &Path, variant: &str, seed: u64) -> PathBuf {
     dir.join(format!("trace_{variant}_s{seed}.json"))
 }
 
+/// Per-job detection-latency report location (online vs batch detector,
+/// DESIGN.md §8; written at the `Characterized` boundary alongside the
+/// results, for jobs that ran with the stream attached).
+pub fn latency_path(dir: &Path, variant: &str, seed: u64) -> PathBuf {
+    dir.join(format!("latency_{variant}_s{seed}.json"))
+}
+
 /// Read back a per-job results file.
 pub fn read_results(path: &Path) -> Result<StudyResults, SweepError> {
     let text = fs::read_to_string(path)
@@ -93,6 +101,14 @@ pub fn read_results(path: &Path) -> Result<StudyResults, SweepError> {
 
 /// Read back a per-job metrics snapshot.
 pub fn read_metrics(path: &Path) -> Result<MetricsSnapshot, SweepError> {
+    let text = fs::read_to_string(path)
+        .map_err(|source| SweepError::Io { path: path.to_path_buf(), source })?;
+    serde_json::from_str(&text)
+        .map_err(|e| SweepError::Corrupt { path: path.to_path_buf(), detail: e.0 })
+}
+
+/// Read back a per-job detection-latency report.
+pub fn read_latency(path: &Path) -> Result<LatencyReport, SweepError> {
     let text = fs::read_to_string(path)
         .map_err(|source| SweepError::Io { path: path.to_path_buf(), source })?;
     serde_json::from_str(&text)
@@ -346,6 +362,15 @@ fn run_job(
             s
         }
     };
+    // Jobs that will run characterization do so with the streaming
+    // detector attached (no recorder), so every seed gets a
+    // detection-latency record next to its results. Jobs resumed past
+    // Setup wrote theirs in the invocation that characterized them.
+    if study.phase == Phase::Setup {
+        study
+            .attach_stream(None)
+            .expect("stream without a recorder cannot fail to attach");
+    }
     // Every sweep job gets a Chrome trace next to its checkpoints,
     // regardless of `FOOTSTEPS_TRACE_OUT`. A resumed job's trace covers
     // only the phases run since the resume (the span tree lives in memory,
@@ -382,6 +407,12 @@ fn run_job(
                 )?;
             }
             digest = Some(results.digest());
+            if let Some(latency) = study.detection_latency() {
+                let mut body = serde_json::to_string_pretty(&latency)
+                    .expect("latency report serializes");
+                body.push('\n');
+                write_atomic(&latency_path(dir, variant, seed), body.as_bytes())?;
+            }
         }
         checkpoint::save(&study, &checkpoint::path_for(dir, variant, seed, study.phase))?;
         study

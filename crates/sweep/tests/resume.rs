@@ -119,7 +119,8 @@ fn corrupt_and_mismatched_checkpoints_fail_with_typed_errors() {
     assert!(matches!(checkpoint::load(&path, &sc), Err(SweepError::Corrupt { .. })));
 
     // Foreign schema version, with a readable message.
-    std::fs::write(&path, good.replacen("\"schema_version\":1", "\"schema_version\":999", 1))
+    let version_field = format!("\"schema_version\":{}", checkpoint::SCHEMA_VERSION);
+    std::fs::write(&path, good.replacen(&version_field, "\"schema_version\":999", 1))
         .unwrap();
     match checkpoint::load(&path, &sc) {
         Err(e @ SweepError::VersionMismatch { found: 999, .. }) => {

@@ -12,7 +12,8 @@ use footsteps_sweep::aggregate::aggregate;
 use footsteps_sweep::checkpoint;
 use footsteps_sweep::manifest::{JobStatus, Manifest};
 use footsteps_sweep::scheduler::{
-    manifest_path, read_results, results_path, resume_sweep, run_sweep, trace_path, SweepConfig,
+    latency_path, manifest_path, read_latency, read_results, results_path, resume_sweep,
+    run_sweep, trace_path, SweepConfig,
 };
 
 fn quick(seed: u64) -> Scenario {
@@ -92,12 +93,19 @@ fn sweep_completes_skips_done_seeds_and_resumes_partial_ones() {
     // Aggregate across both seeds: nonzero cross-seed variance in the
     // Table 5 counts, error bars in the render.
     let r2 = read_results(&results_path(&dir, "quick", 2)).expect("read seed 2 results");
-    let report = aggregate(&[r1, r2], &[]);
+    // Every characterized job also wrote its detection-latency report
+    // (the scheduler attaches the streaming detector to fresh jobs).
+    let lat1 = read_latency(&latency_path(&dir, "quick", 1)).expect("seed 1 latency report");
+    let lat2 = read_latency(&latency_path(&dir, "quick", 2)).expect("seed 2 latency report");
+    let report = aggregate(&[r1, r2], &[], &[lat1, lat2]);
     let (nonzero, total) = report.nonzero_variance_cells();
     assert!(nonzero > 0, "expected cross-seed variance, got 0 of {total} cells");
     let text = report.render();
     assert!(text.contains("±"));
     assert!(text.contains(&format!("{d1:#018x}")));
+    if !report.latency.is_empty() {
+        assert!(text.contains("Detection latency"), "latency table renders when rows exist");
+    }
 
     // A conflicting configuration in the same directory is refused.
     let mut conflicting = cfg.clone();

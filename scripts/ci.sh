@@ -72,7 +72,19 @@ if ! printf '%s\n' "$report_out" | grep -q "cross-seed variance: [1-9]"; then
   echo "sweep gate: no cross-seed variance in the Table 5 count cells" >&2
   exit 1
 fi
-echo "sweep gate: OK (2 distinct digests, no-op resume, nonzero variance)"
+# Every characterized job also wrote a detection-latency report, and the
+# aggregate renders the latency table from them.
+for seed in 1 2; do
+  if [ ! -f "$SWEEP_DIR/latency_smoke_s$seed.json" ]; then
+    echo "sweep gate: missing latency_smoke_s$seed.json (stream not attached?)" >&2
+    exit 1
+  fi
+done
+if ! printf '%s\n' "$report_out" | grep -q "Detection latency"; then
+  echo "sweep gate: aggregate report lacks the detection-latency table" >&2
+  exit 1
+fi
+echo "sweep gate: OK (2 distinct digests, no-op resume, nonzero variance, latency table)"
 
 echo "== perf baseline (smoke scenario, 1 and 8 worker threads) =="
 cargo run --release -p footsteps-bench --bin perf_baseline -- --json --threads 1 7 /tmp/BENCH_daily_engine.ci.json
@@ -200,5 +212,32 @@ if ! awk -v on="$fresh_traced" -v off="$fresh" -v t="$OBS_TOLERANCE" \
   exit 1
 fi
 echo "obs overhead gate: OK (traced $fresh_traced >= $OBS_TOLERANCE x untraced $fresh days/sec)"
+
+echo "== stream gate (event-log record, offline replay, verdict parity) =="
+# Record the smoke scenario's platform event log while detecting online
+# (perf_baseline --stream runs the detector with the recorder off then
+# on, and itself asserts those two digests match), then replay the log
+# offline: stream-replay must recompute the identical verdict digest
+# from the file alone, and the versioned envelope must round-trip.
+STREAM_LOG="/tmp/footsteps_stream.ci.jsonl"
+STREAM_PERF="/tmp/BENCH_stream.ci.json"
+cargo run --release -p footsteps-bench --bin perf_baseline -- --json --stream "$STREAM_LOG" 7 "$STREAM_PERF"
+inline_digest=$(sed -n 's/.*"verdict_digest": *"\(0x[0-9a-f]*\)".*/\1/p' "$STREAM_PERF" | head -n 1)
+if [ -z "$inline_digest" ]; then
+  echo "stream gate: could not extract verdict_digest from $STREAM_PERF" >&2
+  exit 1
+fi
+replay_out=$(./target/release/stream-replay "$STREAM_LOG")
+replay_digest=$(printf '%s\n' "$replay_out" | sed -n 's/^verdict_digest: *\(0x[0-9a-f]*\).*/\1/p')
+if [ -z "$replay_digest" ] || [ "$replay_digest" != "$inline_digest" ]; then
+  echo "stream gate: FAIL — replayed digest '$replay_digest' != inline '$inline_digest'" >&2
+  exit 1
+fi
+if ! printf '%s\n' "$replay_out" | grep -q "^schema_version: 1$"; then
+  echo "stream gate: FAIL — replay did not round-trip envelope schema v1" >&2
+  printf '%s\n' "$replay_out" >&2
+  exit 1
+fi
+echo "stream gate: OK (verdict digest $replay_digest reproduced from the recorded log)"
 
 echo "CI OK"
